@@ -1,0 +1,157 @@
+(* Benchmark harness: regenerates every data figure of the paper
+   (Figs 10-16), the determinism and TSO reports, and a set of Bechamel
+   microbenchmarks of the core primitives.
+
+   Usage:
+     bench/main.exe                 run everything (quick sweeps)
+     bench/main.exe full            run everything with the full thread sweep
+     bench/main.exe fig10 fig14     run selected sections
+   Sections: fig10 fig11 fig12 fig13 fig14 fig15 fig16 determinism tso
+   climit soundness micro. *)
+
+let quick_threads = [ 2; 4; 8; 16 ]
+let full_threads = [ 2; 4; 8; 16; 32 ]
+
+let section_names =
+  [
+    "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "determinism"; "tso";
+    "climit"; "soundness"; "locking"; "chunking"; "micro";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the core data structures               *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let page_size = 256 in
+  let seg_commit =
+    Test.make ~name:"segment: commit 8 pages + read back"
+      (Staged.stage (fun () ->
+           let seg = Vmem.Segment.create ~pages:16 ~page_size () in
+           let pages = List.init 8 (fun i -> (i, Vmem.Page.create ~size:page_size)) in
+           let v = Vmem.Segment.commit seg ~committer:0 ~pages in
+           ignore (Vmem.Segment.read_page seg ~version:v 3)))
+  in
+  let ws_cycle =
+    Test.make ~name:"workspace: write / commit / update cycle"
+      (Staged.stage
+         (let seg = Vmem.Segment.create ~pages:16 ~page_size () in
+          let ws = Vmem.Workspace.create seg ~tid:0 in
+          let buf = Bytes.make 64 'x' in
+          fun () ->
+            Vmem.Workspace.write ws ~addr:128 buf;
+            ignore (Vmem.Workspace.commit ws);
+            ignore (Vmem.Workspace.update ws)))
+  in
+  let page_merge =
+    Test.make ~name:"page: byte merge (256 B)"
+      (Staged.stage
+         (let twin = Vmem.Page.create ~size:page_size in
+          let local = Bytes.make page_size 'y' in
+          let target = Vmem.Page.create ~size:page_size in
+          fun () -> ignore (Vmem.Page.merge_into ~twin ~local ~target)))
+  in
+  let heap_ops =
+    Test.make ~name:"event heap: 256 push + pop"
+      (Staged.stage (fun () ->
+           let h = Sim.Heap.create () in
+           for i = 0 to 255 do
+             Sim.Heap.push h ~key:(i * 7 mod 64) i
+           done;
+           while not (Sim.Heap.is_empty h) do
+             ignore (Sim.Heap.pop h)
+           done))
+  in
+  let gmic =
+    Test.make ~name:"logical clock: gmic over 32 threads"
+      (Staged.stage
+         (let clocks = Detclock.Logical_clock.create () in
+          let handles = List.init 32 (fun tid -> Detclock.Logical_clock.register clocks ~tid) in
+          List.iteri (fun i c -> Detclock.Logical_clock.tick c (i * 97)) handles;
+          fun () -> ignore (Detclock.Logical_clock.gmic clocks)))
+  in
+  let fnv =
+    Test.make ~name:"fnv: hash one page"
+      (Staged.stage
+         (let page = Bytes.make page_size 'z' in
+          fun () -> ignore (Sim.Fnv.bytes Sim.Fnv.init page)))
+  in
+  let end_to_end =
+    Test.make ~name:"runtime: full consequence-ic run (locked counter, 4 threads)"
+      (Staged.stage
+         (let program =
+            Api.make ~name:"bench-prog" ~heap_pages:16 ~page_size:64 (fun ~nthreads ops ->
+                let workers =
+                  List.init nthreads (fun _ ->
+                      ops.Api.spawn (fun w ->
+                          for _ = 1 to 5 do
+                            w.Api.work 2_000;
+                            w.Api.lock 1;
+                            w.Api.write_int ~addr:0 (w.Api.read_int ~addr:0 + 1);
+                            w.Api.unlock 1
+                          done))
+                in
+                List.iter ops.Api.join workers)
+          in
+          fun () ->
+            ignore (Runtime.Det_rt.run Runtime.Config.consequence_ic ~seed:1 ~nthreads:4 program)))
+  in
+  [ seg_commit; ws_cycle; page_merge; heap_ops; gmic; fnv; end_to_end ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "=== micro: Bechamel microbenchmarks of the core primitives ===";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-55s %12.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-55s (no estimate)\n%!" name)
+        analyzed)
+    (micro_tests ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_section ~threads name =
+  match name with
+  | "fig10" -> Figures.Fig_output.print (Figures.Fig10.run ~threads ())
+  | "fig11" -> Figures.Fig_output.print (Figures.Fig11.run ~threads ())
+  | "fig12" -> Figures.Fig_output.print (Figures.Fig12.run ~threads ())
+  | "fig13" -> Figures.Fig_output.print (Figures.Fig13.run ())
+  | "fig14" -> Figures.Fig_output.print (Figures.Fig14.run ())
+  | "fig15" -> Figures.Fig_output.print (Figures.Fig15.run ())
+  | "fig16" -> Figures.Fig_output.print (Figures.Fig16.run ())
+  | "determinism" -> Figures.Fig_output.print (Figures.Determinism_report.run ())
+  | "tso" -> Figures.Fig_output.print (Figures.Tso_report.run ())
+  | "climit" -> Figures.Fig_output.print (Figures.Climit_study.run ())
+  | "soundness" -> Figures.Fig_output.print (Figures.Soundness_study.run ())
+  | "locking" -> Figures.Fig_output.print (Figures.Locking_study.run ())
+  | "chunking" -> Figures.Fig_output.print (Figures.Chunking_study.run ())
+  | "micro" -> run_micro ()
+  | other ->
+      Printf.eprintf "unknown section %S; available: %s\n" other (String.concat " " section_names);
+      exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "full" args in
+  let threads = if full then full_threads else quick_threads in
+  let sections = List.filter (fun a -> a <> "full") args in
+  let sections = if sections = [] then section_names else sections in
+  let t0 = Sys.time () in
+  List.iter
+    (fun s ->
+      run_section ~threads s;
+      print_newline ())
+    sections;
+  Printf.printf "bench complete in %.1f s (cpu)\n" (Sys.time () -. t0)

@@ -1,0 +1,235 @@
+(* Command-line interface to the Consequence reproduction.
+
+   Subcommands:
+     run       execute one benchmark under one runtime and print metrics
+     bench     list the benchmark suite
+     litmus    run a litmus test against the TSO/SC models
+     lrc       run the Fig 16 memory-propagation study on one benchmark
+     check     determinism self-check for one benchmark across seeds
+     schedule  print the deterministic global synchronization schedule
+     stress    fuzz determinism with seeded random programs *)
+
+open Cmdliner
+
+let runtime_of_string = function
+  | "pthreads" -> Ok Runtime.Run.pthreads
+  | "dthreads" -> Ok Runtime.Run.dthreads
+  | "dwc" -> Ok Runtime.Run.dwc
+  | "consequence-rr" | "rr" -> Ok Runtime.Run.consequence_rr
+  | "consequence-ic" | "ic" | "consequence" -> Ok Runtime.Run.consequence_ic
+  | s -> Error (`Msg (Printf.sprintf "unknown runtime %S" s))
+
+let runtime_conv =
+  Arg.conv
+    ( (fun s -> runtime_of_string s),
+      fun fmt rt -> Format.pp_print_string fmt (Runtime.Run.name rt) )
+
+let runtime_arg =
+  let doc =
+    "Threading library: pthreads, dthreads, dwc, consequence-rr, consequence-ic."
+  in
+  Arg.(value & opt runtime_conv Runtime.Run.consequence_ic & info [ "r"; "runtime" ] ~doc)
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Worker thread count.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Simulation seed (perturbs timing only).")
+
+let benchmark_arg =
+  let doc = "Benchmark name (see the bench subcommand for the list)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+let find_program name =
+  match Workload.Registry.find name with
+  | entry -> Ok entry.Workload.Registry.program
+  | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown benchmark %S; known: %s" name
+           (String.concat ", " Workload.Registry.names))
+
+(* --- run -------------------------------------------------------------- *)
+
+let run_cmd =
+  let action runtime threads seed name breakdown =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok program ->
+        let r = Runtime.Run.run runtime ~seed ~nthreads:threads program in
+        Format.printf "%a@." Stats.Run_result.pp_summary r;
+        if breakdown then begin
+          Format.printf "@.time breakdown (all threads):@.";
+          Format.printf "%a@." Stats.Breakdown.pp (Stats.Run_result.aggregate_breakdown r)
+        end
+  in
+  let breakdown_arg =
+    Arg.(value & flag & info [ "b"; "breakdown" ] ~doc:"Print the Fig 15 time breakdown.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute one benchmark under one runtime.")
+    Term.(const action $ runtime_arg $ threads_arg $ seed_arg $ benchmark_arg $ breakdown_arg)
+
+(* --- bench ------------------------------------------------------------ *)
+
+let bench_cmd =
+  let action () =
+    List.iter
+      (fun e ->
+        let p = e.Workload.Registry.program in
+        Printf.printf "%-18s %-9s %s\n" p.Api.name
+          (Workload.Registry.suite_name e.Workload.Registry.suite)
+          p.Api.description)
+      Workload.Registry.all
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"List the 19-benchmark suite.") Term.(const action $ const ())
+
+(* --- litmus ----------------------------------------------------------- *)
+
+let litmus_cmd =
+  let action runtime name =
+    let tests =
+      match name with
+      | None -> Tso.Litmus.all
+      | Some n -> (
+          match List.find_opt (fun t -> t.Tso.Litmus.name = n) Tso.Litmus.all with
+          | Some t -> [ t ]
+          | None ->
+              Printf.eprintf "unknown litmus test %S; known: %s\n" n
+                (String.concat ", " (List.map (fun t -> t.Tso.Litmus.name) Tso.Litmus.all));
+              exit 1)
+    in
+    List.iter
+      (fun test ->
+        let v = Tso.Checker.run_test runtime test in
+        Format.printf "%a@." Tso.Checker.pp_verdict v;
+        Format.printf "  observed: %a@." Tso.Model.pp_set v.Tso.Checker.observed)
+      tests
+  in
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TEST" ~doc:"Litmus test name (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "litmus" ~doc:"Run litmus tests against the TSO/SC operational models.")
+    Term.(const action $ runtime_arg $ name_arg)
+
+(* --- lrc -------------------------------------------------------------- *)
+
+let lrc_cmd =
+  let action threads seed name =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok program ->
+        let r = Hb.Lrc_study.run ~seed ~nthreads:threads program in
+        Printf.printf
+          "%s: TSO propagated %d pages; an LRC system would propagate %d (%.1f%% reduction) over %d acquires / %d commits\n"
+          r.Hb.Lrc_study.program r.Hb.Lrc_study.tso_pages r.Hb.Lrc_study.lrc_pages
+          (100.0 *. Hb.Lrc_study.reduction r)
+          r.Hb.Lrc_study.acquires r.Hb.Lrc_study.commits
+  in
+  Cmd.v
+    (Cmd.info "lrc" ~doc:"Fig 16 memory-propagation study for one benchmark.")
+    Term.(const action $ threads_arg $ seed_arg $ benchmark_arg)
+
+(* --- schedule ---------------------------------------------------------- *)
+
+let schedule_cmd =
+  let action runtime threads seed name count =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok program ->
+        let r = Runtime.Run.run runtime ~seed ~nthreads:threads program in
+        Printf.printf
+          "# %s on %s, %d threads — first %d of %d synchronization events\n"
+          name (Runtime.Run.name runtime) threads
+          (min count (List.length r.Stats.Run_result.schedule))
+          (List.length r.Stats.Run_result.schedule);
+        List.iteri
+          (fun i (time, tid, label) ->
+            if i < count then Printf.printf "%10d ns  t%-3d %s\n" time tid label)
+          r.Stats.Run_result.schedule
+  in
+  let count_arg =
+    Arg.(value & opt int 60 & info [ "n"; "count" ] ~doc:"Events to print.")
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Print the (deterministic) global synchronization schedule of a run.")
+    Term.(const action $ runtime_arg $ threads_arg $ seed_arg $ benchmark_arg $ count_arg)
+
+(* --- stress ------------------------------------------------------------ *)
+
+let stress_cmd =
+  let action runtime threads programs seeds =
+    let failures = ref 0 in
+    for prog_seed = 1 to programs do
+      let program = Workload.Synthetic.make ~seed:prog_seed () in
+      let witnesses =
+        List.init seeds (fun k ->
+            Stats.Run_result.deterministic_witness
+              (Runtime.Run.run runtime ~seed:(1 + (97 * k)) ~nthreads:threads program))
+      in
+      let distinct = List.length (List.sort_uniq compare witnesses) in
+      if distinct > 1 then begin
+        incr failures;
+        Printf.printf "program %d: %d DISTINCT WITNESSES\n" prog_seed distinct
+      end
+    done;
+    Printf.printf
+      "stress: %d random programs x %d perturbed runs on %s, %d threads -> %d determinism failure(s)\n"
+      programs seeds (Runtime.Run.name runtime) threads !failures;
+    if !failures > 0 && Runtime.Run.deterministic runtime then exit 1
+  in
+  let programs_arg =
+    Arg.(value & opt int 25 & info [ "p"; "programs" ] ~doc:"Random programs to generate.")
+  in
+  let seeds_arg =
+    Arg.(value & opt int 3 & info [ "k"; "seeds" ] ~doc:"Perturbed runs per program.")
+  in
+  Cmd.v
+    (Cmd.info "stress" ~doc:"Fuzz determinism with seeded random programs.")
+    Term.(const action $ runtime_arg $ threads_arg $ programs_arg $ seeds_arg)
+
+(* --- check ------------------------------------------------------------ *)
+
+let check_cmd =
+  let action runtime threads name =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok program ->
+        let seeds = [ 1; 2; 3; 42; 1337 ] in
+        let witnesses =
+          List.map
+            (fun seed ->
+              Stats.Run_result.deterministic_witness
+                (Runtime.Run.run runtime ~seed ~nthreads:threads program))
+            seeds
+        in
+        let distinct = List.length (List.sort_uniq compare witnesses) in
+        Printf.printf "%s on %s, %d threads, %d seeds: %d distinct witness(es) — %s\n"
+          name (Runtime.Run.name runtime) threads (List.length seeds) distinct
+          (if distinct = 1 then "deterministic"
+           else if Runtime.Run.deterministic runtime then "DETERMINISM VIOLATION"
+           else "nondeterministic (expected for pthreads)");
+        if distinct > 1 && Runtime.Run.deterministic runtime then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Determinism self-check across perturbed executions.")
+    Term.(const action $ runtime_arg $ threads_arg $ benchmark_arg)
+
+let () =
+  let info =
+    Cmd.info "consequence" ~version:"1.0.0"
+      ~doc:"Deterministic multithreading with TSO consistency (EuroSys 2015 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; bench_cmd; litmus_cmd; lrc_cmd; check_cmd; schedule_cmd; stress_cmd ]))

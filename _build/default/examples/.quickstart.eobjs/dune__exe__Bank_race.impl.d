@@ -1,0 +1,1 @@
+examples/bank_race.ml: Api List Printf Runtime Stats

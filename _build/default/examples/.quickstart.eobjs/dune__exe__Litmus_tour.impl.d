@@ -1,0 +1,1 @@
+examples/litmus_tour.ml: Format List Printf Runtime Tso

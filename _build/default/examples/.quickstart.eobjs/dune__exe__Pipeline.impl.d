@@ -1,0 +1,1 @@
+examples/pipeline.ml: Api List Printf Runtime Stats Workload

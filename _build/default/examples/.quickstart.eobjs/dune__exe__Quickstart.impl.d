@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api List Printf Runtime Stats String

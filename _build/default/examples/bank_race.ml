@@ -1,0 +1,99 @@
+(* The determinism pitch, on a buggy program (paper sections 1-2).
+
+     dune exec examples/bank_race.exe
+
+   A "bank" moves money between accounts with UNSYNCHRONIZED read-modify-
+   write transfers — the classic lost-update bug.  Under pthreads the
+   amount of money lost depends on scheduling: every run (seed) can give a
+   different total, which is precisely what makes such bugs miserable to
+   reproduce and debug.  Under a deterministic runtime the program is
+   still buggy, but it is buggy THE SAME WAY every single time: the bug
+   reproduces on the first try, every try.
+
+   The third section shows the paper's proposed fix for atomic operations
+   (section 2.7): routing the RMW through the global token restores both
+   atomicity and determinism. *)
+
+let accounts = 8
+let account_addr i = 8 * i
+let initial_balance = 1_000
+
+let make_program ~atomic =
+  Api.make
+    ~name:(if atomic then "bank-atomic" else "bank-racy")
+    ~heap_pages:16 ~page_size:256
+    (fun ~nthreads ops ->
+      (* Fund the accounts. *)
+      for i = 0 to accounts - 1 do
+        ops.Api.write_int ~addr:(account_addr i) initial_balance
+      done;
+      ops.Api.barrier_init 0 nthreads;
+      let workers =
+        List.init nthreads (fun i ->
+            ops.Api.spawn (fun w ->
+                w.Api.barrier_wait 0;
+                (* Shuffle money around with racy (or atomic) transfers. *)
+                for round = 1 to 25 do
+                  let src = (i + round) mod accounts in
+                  let dst = (i + (3 * round)) mod accounts in
+                  if src <> dst then
+                    if atomic then begin
+                      ignore (w.Api.atomic_fetch_add ~addr:(account_addr src) (-10));
+                      ignore (w.Api.atomic_fetch_add ~addr:(account_addr dst) 10)
+                    end
+                    else begin
+                      (* read ... compute ... write: the racy window *)
+                      let s = w.Api.read_int ~addr:(account_addr src) in
+                      w.Api.work (100 + i);
+                      w.Api.write_int ~addr:(account_addr src) (s - 10);
+                      let d = w.Api.read_int ~addr:(account_addr dst) in
+                      w.Api.work 80;
+                      w.Api.write_int ~addr:(account_addr dst) (d + 10)
+                    end
+                done))
+      in
+      List.iter ops.Api.join workers;
+      let total = ref 0 in
+      for i = 0 to accounts - 1 do
+        total := !total + ops.Api.read_int ~addr:(account_addr i)
+      done;
+      ops.Api.log_output (Printf.sprintf "total=%d" !total))
+
+(* Recover the logged total by re-running with a host-side spy. *)
+let total_of rt ~seed program =
+  let r = Runtime.Run.run rt ~seed ~nthreads:8 program in
+  (r.Stats.Run_result.mem_hash, r.Stats.Run_result.output_hash)
+
+let () =
+  let expected = accounts * initial_balance in
+  let racy = make_program ~atomic:false in
+  let atomic = make_program ~atomic:true in
+  Printf.printf "total money in the system should always be %d\n\n" expected;
+
+  Printf.printf "racy transfers, 6 runs per runtime (distinct outcomes seen):\n";
+  List.iter
+    (fun rt ->
+      let outcomes =
+        List.map (fun seed -> total_of rt ~seed racy) [ 1; 2; 3; 5; 8; 13 ]
+        |> List.sort_uniq compare
+      in
+      Printf.printf "  %-16s %d distinct outcome(s)%s\n" (Runtime.Run.name rt)
+        (List.length outcomes)
+        (if List.length outcomes = 1 then
+           if Runtime.Run.deterministic rt then "  <- buggy, but reproducibly buggy"
+           else ""
+         else "  <- a heisenbug: different money lost each run"))
+    Runtime.Run.all;
+
+  Printf.printf "\natomic transfers (section 2.7 fix), 6 runs per runtime:\n";
+  let reference = total_of Runtime.Run.pthreads ~seed:1 atomic in
+  List.iter
+    (fun rt ->
+      let outcomes =
+        List.map (fun seed -> total_of rt ~seed atomic) [ 1; 2; 3; 5; 8; 13 ]
+        |> List.sort_uniq compare
+      in
+      let agree = List.for_all (fun (_, out) -> out = snd reference) outcomes in
+      Printf.printf "  %-16s %d distinct outcome(s), money conserved everywhere: %b\n"
+        (Runtime.Run.name rt) (List.length outcomes) agree)
+    Runtime.Run.all

@@ -1,0 +1,77 @@
+(** The pthreads-like programming interface that workloads are written
+    against.
+
+    A {!program} is portable across every runtime in this repository —
+    the nondeterministic [pthreads] baseline, [dthreads], [dwc], and the
+    two Consequence variants — exactly as the paper's benchmarks are one
+    binary linked against different threading libraries.  The runtime
+    supplies a record of operations ({!ops}) to each thread body; all
+    shared-memory access and synchronization must go through it.
+
+    Memory is a single flat byte-addressed heap (the program declares its
+    size in pages).  Synchronization objects are small integers, created
+    on first use; barriers must be sized with [barrier_init] before
+    waiting on them. *)
+
+type mutex = int
+type cond = int
+type barrier = int
+type thread = int
+
+type ops = {
+  tid : int;  (** this thread's id (main = 0) *)
+  self_name : string;
+  work : int -> unit;
+      (** retire [n] user instructions of pure local computation *)
+  read : addr:int -> len:int -> Bytes.t;
+  write : addr:int -> Bytes.t -> unit;
+  read_int : addr:int -> int;
+  write_int : addr:int -> int -> unit;
+  fetch_add : addr:int -> int -> int;
+      (** read-modify-write of an 8-byte integer with the runtime's
+          {e native} semantics: truly atomic under pthreads, but a plain
+          store-buffered RMW under the deterministic runtimes — which
+          (deterministically) loses updates, reproducing the atomic-
+          operations hazard of paper section 2.7.  Returns the value read. *)
+  atomic_fetch_add : addr:int -> int -> int;
+      (** the paper's proposed fix (section 2.7): acquire the global
+          token, perform the RMW against the latest committed state, and
+          commit — atomic and deterministic on every runtime. *)
+  lock : mutex -> unit;
+  unlock : mutex -> unit;
+  cond_wait : cond -> mutex -> unit;
+      (** caller must hold [mutex]; atomically releases it and blocks *)
+  cond_signal : cond -> unit;
+  cond_broadcast : cond -> unit;
+  barrier_init : barrier -> int -> unit;
+      (** set the participant count; must precede any wait *)
+  barrier_wait : barrier -> unit;
+  spawn : ?name:string -> (ops -> unit) -> thread;
+  join : thread -> unit;
+  log_output : string -> unit;
+      (** emit an application-level output event; the stream of these is
+          part of the determinism witness *)
+  yield : unit -> unit;
+      (** hint only; lets the nondeterministic baseline reschedule *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  default_threads : int;
+  heap_pages : int;
+  page_size : int;
+  main : nthreads:int -> ops -> unit;
+      (** body of the main thread; receives the requested worker count
+          and typically spawns [nthreads] workers and joins them *)
+}
+
+val make :
+  name:string ->
+  ?description:string ->
+  ?default_threads:int ->
+  ?heap_pages:int ->
+  ?page_size:int ->
+  (nthreads:int -> ops -> unit) ->
+  t
+(** Defaults: 8 threads, 256 pages of 256 bytes. *)

@@ -1,0 +1,1 @@
+lib/detclock/logical_clock.mli:

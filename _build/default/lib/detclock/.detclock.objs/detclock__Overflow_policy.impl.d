@@ -1,0 +1,1 @@
+lib/detclock/overflow_policy.ml:

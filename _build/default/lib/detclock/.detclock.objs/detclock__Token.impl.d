@@ -1,0 +1,1 @@
+lib/detclock/token.ml: Hashtbl List Logical_clock Printf Sim

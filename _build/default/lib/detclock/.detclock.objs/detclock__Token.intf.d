@@ -1,0 +1,1 @@
+lib/detclock/token.mli: Logical_clock Sim

@@ -1,0 +1,96 @@
+type clock = {
+  tid : int;
+  mutable published : int;
+  mutable paused : bool;
+  mutable departed : bool;
+  mutable finished : bool;
+}
+
+type t = { clocks : (int, clock) Hashtbl.t }
+
+let create () = { clocks = Hashtbl.create 32 }
+
+let register t ~tid =
+  (match Hashtbl.find_opt t.clocks tid with
+  | Some c when not c.finished ->
+      invalid_arg (Printf.sprintf "Logical_clock.register: tid %d already live" tid)
+  | Some _ | None -> ());
+  let c = { tid; published = 0; paused = false; departed = false; finished = false } in
+  Hashtbl.replace t.clocks tid c;
+  c
+
+let tid c = c.tid
+let published c = c.published
+
+let tick c n =
+  if c.paused then invalid_arg "Logical_clock.tick: clock is paused";
+  if c.finished then invalid_arg "Logical_clock.tick: clock is finished";
+  if n < 0 then invalid_arg "Logical_clock.tick: negative tick";
+  c.published <- c.published + n
+
+let pause c = c.paused <- true
+let resume c = c.paused <- false
+let is_paused c = c.paused
+let depart c = c.departed <- true
+let arrive c = c.departed <- false
+let is_departed c = c.departed
+let finish c = c.finished <- true
+let is_finished c = c.finished
+
+let fast_forward c ~to_count =
+  if to_count > c.published then begin
+    c.published <- to_count;
+    true
+  end
+  else false
+
+let active c = (not c.finished) && not c.departed
+
+(* Lexicographic (published, tid) minimum over active clocks. *)
+let gmic t =
+  Hashtbl.fold
+    (fun _ c best ->
+      if not (active c) then best
+      else
+        match best with
+        | None -> Some c
+        | Some b ->
+            if c.published < b.published || (c.published = b.published && c.tid < b.tid) then
+              Some c
+            else best)
+    t.clocks None
+  |> Option.map (fun c -> c.tid)
+
+let is_active t ~tid =
+  match Hashtbl.find_opt t.clocks tid with None -> false | Some c -> active c
+
+let is_gmic t ~tid =
+  match Hashtbl.find_opt t.clocks tid with
+  | None -> false
+  | Some c -> active c && gmic t = Some tid
+
+let next_waiting_gap t ~tid ~waiting =
+  match Hashtbl.find_opt t.clocks tid with
+  | None -> None
+  | Some me ->
+      Hashtbl.fold
+        (fun _ c best ->
+          if c.tid = tid || (not (active c)) || not (waiting c.tid) then best
+          else
+            match best with
+            | None -> Some c
+            | Some b ->
+                if c.published < b.published || (c.published = b.published && c.tid < b.tid)
+                then Some c
+                else best)
+        t.clocks None
+      |> Option.map (fun w -> w.published - me.published + 1)
+
+let live_count t =
+  Hashtbl.fold (fun _ c n -> if c.finished then n else n + 1) t.clocks 0
+
+let active_count t = Hashtbl.fold (fun _ c n -> if active c then n + 1 else n) t.clocks 0
+
+let counts t =
+  Hashtbl.fold (fun _ c acc -> if c.finished then acc else (c.tid, c.published) :: acc) t.clocks []
+  |> List.sort compare

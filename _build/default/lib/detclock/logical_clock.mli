@@ -1,0 +1,84 @@
+(** Deterministic logical clocks (paper section 2.1).
+
+    Each thread owns a retired-instruction counter.  The registry exposes
+    the {e published} value of every counter: the value the rest of the
+    system can see, which lags the thread's actual progress between
+    performance-counter overflows (section 3.2).  Deterministic ordering
+    is defined over published values: the thread with the {b g}lobal
+    {b m}inimum {b i}nstruction {b c}ount — ties broken by thread id — is
+    the GMIC thread and is the only one allowed to take the global token.
+
+    A thread can {e depart} from GMIC consideration (the paper's
+    [clockDepart()], used when blocking on a held lock so others keep
+    making progress) and later re-{e arrive}.  {e pause}/{e resume} model
+    the paper's [clockPause()]/[clockResume()]: while paused, a thread is
+    executing runtime-library code whose instructions must not count
+    (they are nondeterministic); ticking a paused clock is a bug and
+    raises. *)
+
+type t
+(** Registry of all thread clocks. *)
+
+type clock
+(** One thread's clock handle. *)
+
+val create : unit -> t
+
+val register : t -> tid:int -> clock
+(** Add a thread with published count 0.  Raises if [tid] already
+    registered and still live. *)
+
+val tid : clock -> int
+val published : clock -> int
+
+val tick : clock -> int -> unit
+(** Advance the thread's count by [n] retired instructions and publish it.
+    Raises [Invalid_argument] if the clock is paused or finished. *)
+
+val pause : clock -> unit
+val resume : clock -> unit
+val is_paused : clock -> bool
+
+val depart : clock -> unit
+(** Remove from GMIC consideration ([clockDepart]). Idempotent. *)
+
+val arrive : clock -> unit
+(** Rejoin GMIC consideration. Idempotent. *)
+
+val is_departed : clock -> bool
+
+val finish : clock -> unit
+(** Permanently remove the thread (thread exit). *)
+
+val is_finished : clock -> bool
+
+val fast_forward : clock -> to_count:int -> bool
+(** [fast_forward c ~to_count] raises the clock to [to_count] if that is
+    larger (paper section 3.5); returns whether it moved.  Allowed while
+    paused (it happens inside the runtime library). *)
+
+val gmic : t -> int option
+(** Tid of the GMIC thread: minimal (published, tid) among live,
+    non-departed threads.  [None] if no such thread. *)
+
+val is_gmic : t -> tid:int -> bool
+(** True iff [tid] is live, non-departed, and equal to {!gmic}. *)
+
+val is_active : t -> tid:int -> bool
+(** True iff [tid] is registered, live and non-departed. *)
+
+val next_waiting_gap : t -> tid:int -> waiting:(int -> bool) -> int option
+(** For the adaptive-overflow rule (section 3.2): among live non-departed
+    threads [w] other than [tid] for which [waiting w] holds, find the one
+    with minimal (published, tid); return [Some (count_w - count_tid + 1)]
+    — how many more instructions [tid] must retire before that waiter
+    becomes GMIC — or [None] if nobody relevant is waiting.  The result
+    may be [<= 0] when the waiter already precedes [tid]. *)
+
+val live_count : t -> int
+val active_count : t -> int
+(** Live and non-departed. *)
+
+val counts : t -> (int * int) list
+(** [(tid, published)] for all live threads, ascending tid; for tests and
+    debugging. *)

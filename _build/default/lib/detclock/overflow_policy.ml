@@ -1,0 +1,39 @@
+type kind = Adaptive of { base : int; cap : int } | Fixed of int
+
+type t = { kind : kind; mutable interval : int; mutable scheduled : int }
+
+let default_base = 5_000
+let default_cap = 60_000
+
+let create kind =
+  let interval = match kind with Adaptive { base; cap } -> min base cap | Fixed n -> n in
+  if interval <= 0 then invalid_arg "Overflow_policy.create: interval must be > 0";
+  { kind; interval; scheduled = 0 }
+
+let kind t = t.kind
+
+let begin_chunk t =
+  match t.kind with
+  | Adaptive { base; cap } -> t.interval <- min base cap
+  | Fixed _ -> ()
+
+let next_interval t ~waiter_gap =
+  t.scheduled <- t.scheduled + 1;
+  match t.kind with
+  | Fixed n -> n
+  | Adaptive _ -> (
+      match waiter_gap with
+      | Some gap when gap > 0 ->
+          (* Rule 2: overflow exactly when our clock exceeds the waiter's. *)
+          t.interval <- gap;
+          gap
+      | Some _ | None ->
+          (* Rule 3: nobody to notify soon; back off exponentially, but
+             bounded so waiters are never stranded behind a huge
+             interval. *)
+          let cap = match t.kind with Adaptive { cap; _ } -> cap | Fixed n -> n in
+          let n = t.interval in
+          t.interval <- min cap (t.interval * 2);
+          n)
+
+let overflows_scheduled t = t.scheduled

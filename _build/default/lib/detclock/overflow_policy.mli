@@ -1,0 +1,52 @@
+(** Performance-counter overflow scheduling (paper section 3.2).
+
+    A thread's published logical clock advances only when its performance
+    counter is read — at chunk ends and at counter {e overflow} interrupts.
+    The overflow interval trades sequential overhead (interrupt handling)
+    against notification latency for threads waiting to become GMIC.
+    Crucially it has {b no effect on determinism}, only on real time, which
+    is why the runtime may adapt it freely.
+
+    The adaptive policy implements the paper's three rules:
+    + at the start of each chunk the interval resets to a conservative
+      base (5,000 retired instructions);
+    + if some thread is waiting to become GMIC and we are ahead of
+      nothing — i.e. we are the thread everyone waits for — the next
+      overflow is placed exactly where our clock passes the next-lowest
+      waiter's clock;
+    + otherwise the interval doubles.
+
+    A [Fixed] policy is provided for the Fig 13 ablation (adaptive
+    overflows disabled). *)
+
+type kind =
+  | Adaptive of { base : int; cap : int }
+      (** doubling backoff is bounded by [cap]: the longest a waiter can
+          go unnotified is one capped interval *)
+  | Fixed of int
+
+type t
+
+val default_base : int
+(** 5,000 retired instructions, the paper's conservative base value. *)
+
+val default_cap : int
+(** 60,000 retired instructions: bounds rule-3 doubling so a thread
+    waiting to become GMIC is notified within one capped interval, while
+    keeping interrupt overhead negligible for compute-dominated chunks. *)
+
+val create : kind -> t
+val kind : t -> kind
+
+val begin_chunk : t -> unit
+(** Reset per-chunk state (rule 1). *)
+
+val next_interval : t -> waiter_gap:int option -> int
+(** Instructions until the next overflow should fire.  [waiter_gap] is
+    the distance to the next-lowest waiting thread's clock (from
+    {!Logical_clock.next_waiting_gap}), when we are the GMIC and somebody
+    waits on us: rule 2 targets the overflow exactly there.  [None]
+    applies rule 3 (doubling).  Always returns a value >= 1. *)
+
+val overflows_scheduled : t -> int
+(** Total intervals handed out; a proxy for interrupt overhead. *)

@@ -1,0 +1,82 @@
+type ordering = Round_robin | Instruction_count
+
+type t = {
+  eng : Sim.Engine.t;
+  clocks : Logical_clock.t;
+  ordering : ordering;
+  mutable holder : int option;
+  waiters : (int, unit) Hashtbl.t;
+  mutable rr_turn : int; (* tid whose turn is next under round-robin *)
+  mutable last_release_published : int;
+  mutable acquisitions : int;
+}
+
+let create eng clocks ordering =
+  {
+    eng;
+    clocks;
+    ordering;
+    holder = None;
+    waiters = Hashtbl.create 16;
+    rr_turn = 0;
+    last_release_published = 0;
+    acquisitions = 0;
+  }
+
+let ordering t = t.ordering
+let holder t = t.holder
+let is_waiting t ~tid = Hashtbl.mem t.waiters tid
+let waiting_count t = Hashtbl.length t.waiters
+let last_release_published t = t.last_release_published
+let acquisitions t = t.acquisitions
+
+(* Round-robin winner: the first live non-departed tid >= rr_turn, wrapping
+   to the smallest if none.  Derived from the clock registry so threads
+   that exit or depart are skipped without extra bookkeeping. *)
+let rr_winner t =
+  let live =
+    List.filter_map
+      (fun (tid, _) -> if Logical_clock.is_active t.clocks ~tid then Some tid else None)
+      (Logical_clock.counts t.clocks)
+  in
+  match live with
+  | [] -> None
+  | first :: _ -> (
+      match List.find_opt (fun tid -> tid >= t.rr_turn) live with
+      | Some tid -> Some tid
+      | None -> Some first)
+
+let eligible_now t =
+  match t.holder with
+  | Some _ -> None
+  | None -> (
+      match t.ordering with
+      | Instruction_count -> Logical_clock.gmic t.clocks
+      | Round_robin -> rr_winner t)
+
+let poke t =
+  match eligible_now t with
+  | Some tid when Hashtbl.mem t.waiters tid -> Sim.Engine.wakeup t.eng tid
+  | Some _ | None -> ()
+
+let wait t ~tid =
+  Hashtbl.replace t.waiters tid ();
+  let eligible () = t.holder = None && eligible_now t = Some tid in
+  while not (eligible ()) do
+    Sim.Engine.block t.eng ~reason:"token"
+  done;
+  Hashtbl.remove t.waiters tid;
+  t.holder <- Some tid;
+  t.acquisitions <- t.acquisitions + 1
+
+let release t ~tid =
+  if t.holder <> Some tid then
+    invalid_arg (Printf.sprintf "Token.release: tid %d does not hold the token" tid);
+  t.holder <- None;
+  (match List.assoc_opt tid (Logical_clock.counts t.clocks) with
+  | Some published -> t.last_release_published <- published
+  | None -> ());
+  (match t.ordering with
+  | Round_robin -> t.rr_turn <- tid + 1
+  | Instruction_count -> ());
+  poke t

@@ -1,0 +1,60 @@
+(** The global token (paper sections 2.1, 4).
+
+    Every deterministic event — lock, unlock, barrier, condition-variable
+    operation, thread create/join/exit, commit — requires holding the
+    single global token.  Who may take a free token is decided by the
+    ordering policy:
+
+    - {e Instruction_count} (Consequence-IC): only the GMIC thread of the
+      {!Logical_clock} registry may take it (Kendo-style ordering).
+    - {e Round_robin} (DThreads, DWC, Consequence-RR): the token visits
+      live, non-departed threads in thread-id order; it moves on only when
+      its current turn-holder performs a synchronization operation.
+
+    Both policies compute a unique eligible thread from deterministic
+    state (published instruction counts / turn counter), which is what
+    makes the synchronization order deterministic.
+
+    The token does not watch clock state on its own: callers must {!poke}
+    it after any change that could alter eligibility (tick, depart,
+    arrive, finish).  The runtime's chunk executor does this at every
+    publication point, mirroring the kernel module that notifies a newly
+    appointed GMIC thread (section 3.4). *)
+
+type ordering = Round_robin | Instruction_count
+
+type t
+
+val create : Sim.Engine.t -> Logical_clock.t -> ordering -> t
+val ordering : t -> ordering
+
+val wait : t -> tid:int -> unit
+(** The paper's [waitToken()]: block until this thread is the eligible
+    taker and the token is free, then take it.  Must be called from the
+    fiber whose id is [tid]. *)
+
+val release : t -> tid:int -> unit
+(** The paper's [releaseToken()].  Records the releaser's published clock
+    (for fast-forward) and, under round-robin, advances the turn.  Raises
+    if [tid] does not hold the token. *)
+
+val holder : t -> int option
+
+val eligible_now : t -> int option
+(** The thread that could take the token right now (whether or not it is
+    waiting); [None] if the token is held or no thread is active. *)
+
+val is_waiting : t -> tid:int -> bool
+
+val waiting_count : t -> int
+
+val poke : t -> unit
+(** Re-evaluate eligibility and wake the winning waiter, if any.  Call
+    after clock publications, departures, arrivals and thread exits. *)
+
+val last_release_published : t -> int
+(** Published clock of the most recent releaser — the fast-forward target
+    (section 3.5).  0 before any release. *)
+
+val acquisitions : t -> int
+(** Total successful acquisitions (a determinism-independent load metric). *)

@@ -1,0 +1,1 @@
+lib/figures/chunking_study.ml: Api Fig_output List Printf Runtime Stats Workload

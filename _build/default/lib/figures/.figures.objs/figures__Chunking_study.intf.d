@@ -1,0 +1,1 @@
+lib/figures/chunking_study.mli: Fig_output

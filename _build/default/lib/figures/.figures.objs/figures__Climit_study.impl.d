@@ -1,0 +1,1 @@
+lib/figures/climit_study.ml: Api Fig_output List Option Printf Runtime Sim Stats Workload

@@ -1,0 +1,1 @@
+lib/figures/climit_study.mli: Fig_output

@@ -1,0 +1,1 @@
+lib/figures/determinism_report.ml: Api Fig_output List Printf Runtime Stats Workload

@@ -1,0 +1,1 @@
+lib/figures/determinism_report.mli: Fig_output

@@ -1,0 +1,1 @@
+lib/figures/fig10.ml: Api Fig_output List Printf Runtime Stats Workload

@@ -1,0 +1,1 @@
+lib/figures/fig10.mli: Fig_output

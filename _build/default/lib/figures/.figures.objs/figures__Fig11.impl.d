@@ -1,0 +1,1 @@
+lib/figures/fig11.ml: Fig10 Fig_output List Printf Runtime Stats Workload

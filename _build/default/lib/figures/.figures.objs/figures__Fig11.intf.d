@@ -1,0 +1,1 @@
+lib/figures/fig11.mli: Fig_output

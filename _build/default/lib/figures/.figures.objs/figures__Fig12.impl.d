@@ -1,0 +1,1 @@
+lib/figures/fig12.ml: Fig10 Fig_output List Option Printf Runtime Stats String Workload

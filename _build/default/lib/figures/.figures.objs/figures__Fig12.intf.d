@@ -1,0 +1,1 @@
+lib/figures/fig12.mli: Fig_output

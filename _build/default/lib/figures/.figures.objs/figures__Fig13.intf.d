@@ -1,0 +1,1 @@
+lib/figures/fig13.mli: Fig_output Runtime

@@ -1,0 +1,1 @@
+lib/figures/fig14.ml: Fig_output List Printf Runtime Stats String Workload

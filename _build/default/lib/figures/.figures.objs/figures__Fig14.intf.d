@@ -1,0 +1,1 @@
+lib/figures/fig14.mli: Fig_output

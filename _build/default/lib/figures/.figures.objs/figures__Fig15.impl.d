@@ -1,0 +1,1 @@
+lib/figures/fig15.ml: Fig_output List Printf Runtime Stats Workload

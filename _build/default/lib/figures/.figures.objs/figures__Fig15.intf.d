@@ -1,0 +1,1 @@
+lib/figures/fig15.mli: Fig_output Stats

@@ -1,0 +1,1 @@
+lib/figures/fig16.ml: Fig_output Hb List Printf Stats Workload

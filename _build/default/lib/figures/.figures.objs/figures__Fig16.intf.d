@@ -1,0 +1,1 @@
+lib/figures/fig16.mli: Fig_output Hb

@@ -1,0 +1,1 @@
+lib/figures/fig_output.ml: Buffer List Printf Stats

@@ -1,0 +1,1 @@
+lib/figures/fig_output.mli: Stats

@@ -1,0 +1,1 @@
+lib/figures/locking_study.ml: Api Fig_output List Printf Runtime Stats Workload

@@ -1,0 +1,1 @@
+lib/figures/locking_study.mli: Fig_output

@@ -1,0 +1,1 @@
+lib/figures/soundness_study.ml: Fig_output List Printf Runtime Stats Workload

@@ -1,0 +1,1 @@
+lib/figures/soundness_study.mli: Fig_output

@@ -1,0 +1,1 @@
+lib/figures/tso_report.ml: Fig_output List Printf Runtime Stats Tso

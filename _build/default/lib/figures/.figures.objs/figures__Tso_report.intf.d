@@ -1,0 +1,1 @@
+lib/figures/tso_report.mli: Fig_output Tso

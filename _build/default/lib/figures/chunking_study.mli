@@ -1,0 +1,22 @@
+(** Commit placement: fixed-size chunks versus sync-op boundaries
+    (paper section 2.4).
+
+    CoreDet/Calvin-style TSO implementations divide execution into chunks
+    of a fixed number of instructions (typically 10k–100k) and commit at
+    the end of each chunk; DThreads observed that TSO only requires
+    commits at synchronization operations, which amortizes commit cost
+    over much larger regions.  This study runs a compute-heavy program
+    under Consequence-IC with forced chunked commits at several sizes
+    versus commits only at sync ops, reproducing the motivation for the
+    paper's design choice. *)
+
+type row = {
+  variant : string;  (** "sync-ops-only" or "chunk-K" *)
+  wall_ns : int;
+  commits : int;  (** page-carrying commits *)
+  forced : int;  (** chunk-boundary forced commit+updates *)
+}
+
+val chunk_sizes : int list
+val measure : ?threads:int -> ?seed:int -> unit -> row list
+val run : ?threads:int -> ?seed:int -> unit -> Fig_output.t

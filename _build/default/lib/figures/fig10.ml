@@ -1,0 +1,71 @@
+let threads_sweep = [ 2; 4; 8; 16; 32 ]
+
+type row = {
+  benchmark : string;
+  ratios : (string * float) list;
+}
+
+let det_runtimes =
+  [ Runtime.Run.dthreads; Runtime.Run.dwc; Runtime.Run.consequence_rr; Runtime.Run.consequence_ic ]
+
+let measure ?(threads = threads_sweep) ?(seed = 1) () =
+  List.map
+    (fun entry ->
+      let program = entry.Workload.Registry.program in
+      let best rt =
+        (Runtime.Run.best_over_threads rt ~seed ~threads program).Stats.Run_result.wall_ns
+      in
+      let pthreads_best = best Runtime.Run.pthreads in
+      let ratios =
+        List.map
+          (fun rt ->
+            (Runtime.Run.name rt, float_of_int (best rt) /. float_of_int pthreads_best))
+          det_runtimes
+      in
+      { benchmark = program.Api.name; ratios })
+    Workload.Registry.all
+
+let ratio_of row name = List.assoc name row.ratios
+
+let run ?threads ?seed () =
+  let rows = measure ?threads ?seed () in
+  let names = List.map Runtime.Run.name det_runtimes in
+  let table = Stats.Table.create ~columns:("benchmark" :: names) in
+  List.iter
+    (fun row ->
+      Stats.Table.add_row table
+        (row.benchmark :: List.map (fun n -> Stats.Table.cell_ratio (ratio_of row n)) names))
+    rows;
+  let max_of name =
+    List.fold_left (fun acc row -> max acc (ratio_of row name)) 0.0 rows
+  in
+  let hardest = Workload.Registry.hardest_five in
+  let avg_improvement name =
+    let ratios =
+      List.filter_map
+        (fun row ->
+          if List.mem row.benchmark hardest then
+            Some (ratio_of row name /. ratio_of row "consequence-ic")
+          else None)
+        rows
+    in
+    List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+  in
+  let below_25 =
+    List.length (List.filter (fun row -> ratio_of row "consequence-ic" <= 2.5) rows)
+  in
+  {
+    Fig_output.id = "fig10";
+    title = "runtime normalized to pthreads (best over thread sweep)";
+    tables = [ ("", table) ];
+    notes =
+      [
+        Printf.sprintf "max slowdown: consequence-ic %.1fx (paper: 3.9x), dthreads %.1fx (12.5x), dwc %.1fx (11.0x)"
+          (max_of "consequence-ic") (max_of "dthreads") (max_of "dwc");
+        Printf.sprintf "%d of %d programs at or below 2.5x under consequence-ic (paper: 14 of 19)"
+          below_25 (List.length rows);
+        Printf.sprintf
+          "hardest five: consequence-ic beats dthreads by %.1fx (paper: 2.8x) and dwc by %.1fx (paper: 2.2x) on average"
+          (avg_improvement "dthreads") (avg_improvement "dwc");
+      ];
+  }

@@ -1,0 +1,83 @@
+type series = {
+  benchmark : string;
+  runtime : string;
+  points : (int * int) list;
+}
+
+let measure ?(threads = Fig10.threads_sweep) ?(seed = 1) () =
+  List.concat_map
+    (fun name ->
+      let program = (Workload.Registry.find name).Workload.Registry.program in
+      List.map
+        (fun rt ->
+          let points =
+            List.map
+              (fun n ->
+                (n, (Runtime.Run.run rt ~seed ~nthreads:n program).Stats.Run_result.wall_ns))
+              threads
+          in
+          { benchmark = name; runtime = Runtime.Run.name rt; points })
+        Runtime.Run.all)
+    Workload.Registry.fig11_set
+
+let run ?threads ?seed () =
+  let series = measure ?threads ?seed () in
+  let tables =
+    List.map
+      (fun name ->
+        let mine = List.filter (fun s -> s.benchmark = name) series in
+        let thread_counts = List.map fst (List.hd mine).points in
+        let table =
+          Stats.Table.create
+            ~columns:("threads" :: List.map (fun s -> s.runtime) mine)
+        in
+        List.iteri
+          (fun i n ->
+            Stats.Table.add_row table
+              (string_of_int n
+              :: List.map
+                   (fun s ->
+                     Stats.Table.cell_float ~decimals:2
+                       (float_of_int (snd (List.nth s.points i)) /. 1e6))
+                   mine))
+          thread_counts;
+        (name ^ " (wall ms)", table))
+      Workload.Registry.fig11_set
+  in
+  (* Worst absolute runtime at the largest thread count, normalized to
+     pthreads at the same point — the height the Fig 11 curves reach. *)
+  let worst_at_max runtime =
+    List.fold_left
+      (fun acc name ->
+        let wall rt_name =
+          match List.find_opt (fun s -> s.benchmark = name && s.runtime = rt_name) series with
+          | Some s -> float_of_int (snd (List.nth s.points (List.length s.points - 1)))
+          | None -> nan
+        in
+        max acc (wall runtime /. wall "pthreads"))
+      0.0 Workload.Registry.fig11_set
+  in
+  let water rt_name =
+    match
+      List.find_opt (fun s -> s.benchmark = "water_nsquared" && s.runtime = rt_name) series
+    with
+    | Some s ->
+        let pts = s.points in
+        float_of_int (snd (List.nth pts (List.length pts - 1)))
+        /. float_of_int (snd (List.hd pts))
+    | None -> nan
+  in
+  {
+    Fig_output.id = "fig11";
+    title = "runtime vs thread count (scalability-problem benchmarks)";
+    tables;
+    notes =
+      [
+        Printf.sprintf
+          "worst curve height at max threads (vs pthreads): dthreads %.0fx, dwc %.0fx, consequence-ic %.0fx (paper: DThreads/DWC severe, Consequence much less so)"
+          (worst_at_max "dthreads") (worst_at_max "dwc") (worst_at_max "consequence-ic");
+        Printf.sprintf
+          "water_nsquared degradation 2->max threads under consequence-ic: %.1fx — the paper's coarsened-token pathology at high thread counts (section 5/6)"
+          (water "consequence-ic");
+      ];
+  }

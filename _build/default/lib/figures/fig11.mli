@@ -1,0 +1,16 @@
+(** Fig 11: runtime versus thread count for the six benchmarks with
+    DThreads/DWC scalability problems (ocean_cp, lu_ncb, ferret, kmeans,
+    water_nsquared, canneal).
+
+    Expected shape: DThreads (and to a lesser degree DWC) degrade steeply
+    with thread count; Consequence also has scaling difficulties but far
+    less severe (paper section 5). *)
+
+type series = {
+  benchmark : string;
+  runtime : string;
+  points : (int * int) list;  (** thread count, wall ns *)
+}
+
+val measure : ?threads:int list -> ?seed:int -> unit -> series list
+val run : ?threads:int list -> ?seed:int -> unit -> Fig_output.t

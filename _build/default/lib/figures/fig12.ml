@@ -1,0 +1,64 @@
+type series = {
+  benchmark : string;
+  runtime : string;
+  points : (int * int) list;
+}
+
+let runtimes = [ Runtime.Run.dthreads; Runtime.Run.consequence_ic ]
+
+let measure ?(threads = Fig10.threads_sweep) ?(seed = 1) () =
+  List.concat_map
+    (fun name ->
+      let program = (Workload.Registry.find name).Workload.Registry.program in
+      List.map
+        (fun rt ->
+          let points =
+            List.map
+              (fun n ->
+                ( n,
+                  (Runtime.Run.run rt ~seed ~nthreads:n program).Stats.Run_result.peak_mem_pages
+                ))
+              threads
+          in
+          { benchmark = name; runtime = Runtime.Run.name rt; points })
+        runtimes)
+    Workload.Registry.fig11_set
+
+let run ?threads ?seed () =
+  let series = measure ?threads ?seed () in
+  let thread_counts = List.map fst (List.hd series).points in
+  let table =
+    Stats.Table.create
+      ~columns:
+        ("benchmark" :: "runtime" :: List.map (fun n -> Printf.sprintf "n=%d" n) thread_counts)
+  in
+  List.iter
+    (fun s ->
+      Stats.Table.add_row table
+        (s.benchmark :: s.runtime :: List.map (fun (_, pages) -> string_of_int pages) s.points))
+    series;
+  (* Ratio consequence/dthreads at the top thread count per benchmark. *)
+  let blowups =
+    List.filter_map
+      (fun name ->
+        let peak rt_name =
+          List.find_opt (fun s -> s.benchmark = name && s.runtime = rt_name) series
+          |> Option.map (fun s -> snd (List.nth s.points (List.length s.points - 1)))
+        in
+        match (peak "consequence-ic", peak "dthreads") with
+        | Some c, Some d when d > 0 -> Some (name, float_of_int c /. float_of_int d)
+        | _ -> None)
+      Workload.Registry.fig11_set
+  in
+  let fmt_blowup (name, r) = Printf.sprintf "%s %.1fx" name r in
+  {
+    Fig_output.id = "fig12";
+    title = "peak memory (pages) vs thread count: Consequence vs DThreads";
+    tables = [ ("", table) ];
+    notes =
+      [
+        "consequence/dthreads peak-memory ratio at max threads: "
+        ^ String.concat ", " (List.map fmt_blowup blowups)
+        ^ " (paper: evenly matched except canneal and lu_ncb, where the single-threaded GC falls behind)";
+      ];
+  }

@@ -1,0 +1,16 @@
+(** Fig 12: peak memory usage versus thread count, Consequence vs
+    DThreads.
+
+    Expected shape: the two are evenly matched except canneal and lu_ncb
+    at high thread counts, where Conversion's rate-limited single-threaded
+    version GC cannot keep up with page allocation and Consequence's
+    footprint blows up (paper section 5). *)
+
+type series = {
+  benchmark : string;
+  runtime : string;
+  points : (int * int) list;  (** thread count, peak pages *)
+}
+
+val measure : ?threads:int list -> ?seed:int -> unit -> series list
+val run : ?threads:int list -> ?seed:int -> unit -> Fig_output.t

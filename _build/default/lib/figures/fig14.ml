@@ -1,0 +1,59 @@
+let static_levels = [ 0; 1; 2; 4; 8; 16; 32 ]
+
+type row = {
+  level : string;
+  walls : (string * int) list;
+}
+
+let configs () =
+  ("none", Runtime.Config.without_coarsening Runtime.Config.consequence_ic)
+  :: List.map
+       (fun k -> (Printf.sprintf "static-%d" k, Runtime.Config.with_static_coarsening Runtime.Config.consequence_ic k))
+       static_levels
+  @ [ ("adaptive", Runtime.Config.consequence_ic) ]
+
+let measure ?(threads = 8) ?(seed = 1) () =
+  List.map
+    (fun (level, cfg) ->
+      let walls =
+        List.map
+          (fun name ->
+            let program = (Workload.Registry.find name).Workload.Registry.program in
+            (name, (Runtime.Det_rt.run cfg ~seed ~nthreads:threads program).Stats.Run_result.wall_ns))
+          Workload.Registry.fig14_set
+      in
+      { level; walls })
+    (configs ())
+
+let run ?threads ?seed () =
+  let rows = measure ?threads ?seed () in
+  let table = Stats.Table.create ~columns:("coarsening" :: Workload.Registry.fig14_set) in
+  List.iter
+    (fun row ->
+      Stats.Table.add_row table
+        (row.level
+        :: List.map
+             (fun name ->
+               Stats.Table.cell_float ~decimals:2 (float_of_int (List.assoc name row.walls) /. 1e6))
+             Workload.Registry.fig14_set))
+    rows;
+  let adaptive = List.find (fun r -> r.level = "adaptive") rows in
+  let static_rows = List.filter (fun r -> String.length r.level > 6 && String.sub r.level 0 6 = "static") rows in
+  let notes =
+    List.map
+      (fun name ->
+        let best_static =
+          List.fold_left (fun acc r -> min acc (List.assoc name r.walls)) max_int static_rows
+        in
+        let a = List.assoc name adaptive.walls in
+        Printf.sprintf "%s: adaptive %.2fms vs best static %.2fms (%s; paper: adaptive beats the best static level)"
+          name (float_of_int a /. 1e6) (float_of_int best_static /. 1e6)
+          (if a <= best_static then "adaptive wins" else "static wins here"))
+      Workload.Registry.fig14_set
+  in
+  {
+    Fig_output.id = "fig14";
+    title = "adaptive vs static coarsening (wall ms, 8 threads)";
+    tables = [ ("", table) ];
+    notes;
+  }

@@ -1,0 +1,17 @@
+(** Fig 14: adaptive versus static coarsening on reverse_index and
+    ferret.
+
+    x-axis: static coarsening level (sync operations coalesced per token
+    hold); the adaptive policy is the extra point.  Paper shape: the
+    level matters a lot, and per-thread adaptive selection beats even the
+    best static level. *)
+
+val static_levels : int list
+
+type row = {
+  level : string;  (** "static-N" or "adaptive" or "none" *)
+  walls : (string * int) list;  (** benchmark, wall ns *)
+}
+
+val measure : ?threads:int -> ?seed:int -> unit -> row list
+val run : ?threads:int -> ?seed:int -> unit -> Fig_output.t

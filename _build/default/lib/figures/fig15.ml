@@ -1,0 +1,90 @@
+module Bd = Stats.Breakdown
+
+type row = {
+  label : string;
+  runtime : string;
+  fractions : (Bd.category * float) list;
+  total_ns : int;
+}
+
+let runtimes = [ Runtime.Run.pthreads; Runtime.Run.dwc; Runtime.Run.consequence_ic ]
+
+(* Aggregate the breakdowns of the threads selected by [keep]. *)
+let aggregate res keep =
+  List.fold_left
+    (fun acc ts ->
+      if keep ts then Bd.merge acc ts.Stats.Run_result.breakdown else acc)
+    (Bd.create ()) res.Stats.Run_result.per_thread
+
+let row_of ~label ~runtime bd =
+  { label; runtime; fractions = Bd.fractions bd; total_ns = Bd.total bd }
+
+let is_worker ts = ts.Stats.Run_result.thread_name <> "main"
+
+let measure ?(threads = 8) ?(seed = 1) () =
+  List.concat_map
+    (fun name ->
+      let program = (Workload.Registry.find name).Workload.Registry.program in
+      List.concat_map
+        (fun rt ->
+          let res = Runtime.Run.run rt ~seed ~nthreads:threads program in
+          let rt_name = Runtime.Run.name rt in
+          if name = "ferret" then
+            (* Split the first pipeline stage from the rest (section 5.2). *)
+            let seg ts = ts.Stats.Run_result.thread_name = Workload.Ferret.stage1_name in
+            [
+              row_of ~label:"ferret_1" ~runtime:rt_name (aggregate res seg);
+              row_of ~label:"ferret_n" ~runtime:rt_name
+                (aggregate res (fun ts -> is_worker ts && not (seg ts)));
+            ]
+          else [ row_of ~label:name ~runtime:rt_name (aggregate res is_worker) ])
+        runtimes)
+    Workload.Registry.fig15_set
+
+let run ?threads ?seed () =
+  let rows = measure ?threads ?seed () in
+  let cats = Bd.all in
+  let tables =
+    List.map
+      (fun rt ->
+        let rt_name = Runtime.Run.name rt in
+        let table =
+          Stats.Table.create ~columns:("benchmark" :: List.map Bd.category_name cats)
+        in
+        List.iter
+          (fun row ->
+            if row.runtime = rt_name then
+              Stats.Table.add_row table
+                (row.label
+                :: List.map
+                     (fun cat ->
+                       Printf.sprintf "%.0f%%" (100.0 *. List.assoc cat row.fractions))
+                     cats))
+          rows;
+        (rt_name ^ " (share of thread time)", table))
+      runtimes
+  in
+  let frac label rt cat =
+    match List.find_opt (fun r -> r.label = label && r.runtime = rt) rows with
+    | Some r -> List.assoc cat r.fractions
+    | None -> 0.0
+  in
+  {
+    Fig_output.id = "fig15";
+    title = "time breakdown per benchmark at 8 threads";
+    tables;
+    notes =
+      [
+        Printf.sprintf
+          "canneal barrier-type waiting: dwc %.0f%% vs consequence-ic %.0f%% (paper: DWC spends far more time waiting at barriers)"
+          (100.0 *. (frac "canneal" "dwc" Bd.Determ_wait +. frac "canneal" "dwc" Bd.Barrier_wait))
+          (100.0
+          *. (frac "canneal" "consequence-ic" Bd.Determ_wait
+             +. frac "canneal" "consequence-ic" Bd.Barrier_wait));
+        Printf.sprintf
+          "ferret_1 chunk share under consequence-ic: %.0f%% (paper: GMIC + coarsening let the segmenter spend its time executing)"
+          (100.0 *. frac "ferret_1" "consequence-ic" Bd.Chunk);
+        Printf.sprintf "string_match is compute-bound everywhere (chunk %.0f%% under consequence-ic)"
+          (100.0 *. frac "string_match" "consequence-ic" Bd.Chunk);
+      ];
+  }

@@ -1,0 +1,16 @@
+(** Fig 15: breakdown of where time goes, per benchmark, for pthreads,
+    DWC and Consequence-IC at 8 threads.
+
+    The ferret rows are split into the first pipeline thread (ferret_1 —
+    the high-rate segmenter) and the remaining threads (ferret_n), whose
+    profiles differ radically (paper section 5.2). *)
+
+type row = {
+  label : string;  (** benchmark, or "ferret_1"/"ferret_n" *)
+  runtime : string;
+  fractions : (Stats.Breakdown.category * float) list;
+  total_ns : int;
+}
+
+val measure : ?threads:int -> ?seed:int -> unit -> row list
+val run : ?threads:int -> ?seed:int -> unit -> Fig_output.t

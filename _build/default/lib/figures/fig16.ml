@@ -1,0 +1,41 @@
+let measure ?(threads = 8) ?(seed = 1) () =
+  List.map
+    (fun name ->
+      let program = (Workload.Registry.find name).Workload.Registry.program in
+      Hb.Lrc_study.run ~seed ~nthreads:threads program)
+    Workload.Registry.fig16_set
+
+let run ?threads ?seed () =
+  let results = measure ?threads ?seed () in
+  let table =
+    Stats.Table.create ~columns:[ "benchmark"; "tso-pages"; "lrc-pages"; "reduction" ]
+  in
+  List.iter
+    (fun (r : Hb.Lrc_study.result) ->
+      Stats.Table.add_row table
+        [
+          r.program;
+          string_of_int r.tso_pages;
+          string_of_int r.lrc_pages;
+          Printf.sprintf "%.1f%%" (100.0 *. Hb.Lrc_study.reduction r);
+        ])
+    results;
+  let avg =
+    List.fold_left (fun acc r -> acc +. Hb.Lrc_study.reduction r) 0.0 results
+    /. float_of_int (List.length results)
+  in
+  let canneal = List.find_opt (fun (r : Hb.Lrc_study.result) -> r.program = "canneal") results in
+  {
+    Fig_output.id = "fig16";
+    title = "pages propagated: TSO (measured) vs LRC (vector-clock replay)";
+    tables = [ ("", table) ];
+    notes =
+      [
+        Printf.sprintf "average LRC reduction: %.1f%% (paper: ~21%%)" (100.0 *. avg);
+        (match canneal with
+        | Some r ->
+            Printf.sprintf "canneal reduction: %.1f%% (paper: barriers leave almost nothing for LRC to save)"
+              (100.0 *. Hb.Lrc_study.reduction r)
+        | None -> "canneal not measured");
+      ];
+  }

@@ -1,0 +1,9 @@
+(** Fig 16: total pages propagated under TSO (Consequence, measured)
+    versus the expected number for an LRC-based system (vector-clock
+    replay), for the benchmarks with substantial page traffic.
+
+    Paper headline: LRC reduces propagation by only ~21% on average;
+    barrier-heavy programs like canneal see almost no gain. *)
+
+val measure : ?threads:int -> ?seed:int -> unit -> Hb.Lrc_study.result list
+val run : ?threads:int -> ?seed:int -> unit -> Fig_output.t

@@ -1,0 +1,22 @@
+type t = {
+  id : string;
+  title : string;
+  tables : (string * Stats.Table.t) list;
+  notes : string list;
+}
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "=== %s: %s ===\n" t.id t.title);
+  List.iter
+    (fun (caption, table) ->
+      if caption <> "" then Buffer.add_string buf (Printf.sprintf "\n-- %s --\n" caption);
+      Buffer.add_string buf (Stats.Table.render table))
+    t.tables;
+  if t.notes <> [] then begin
+    Buffer.add_char buf '\n';
+    List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "note: %s\n" n)) t.notes
+  end;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,14 @@
+(** Common shape of a reproduced figure: a title, one or more tables, and
+    headline notes (the quantitative claims the paper states in prose). *)
+
+type t = {
+  id : string;  (** e.g. "fig10" *)
+  title : string;
+  tables : (string * Stats.Table.t) list;  (** caption, table *)
+  notes : string list;
+}
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,77 @@
+type row = {
+  variant : string;
+  wall_ns : int;
+  token_acquisitions : int;
+}
+
+let increments = [ 500; 2_000; 8_000; 32_000; 128_000 ]
+
+(* Heavily contended single lock with non-trivial critical sections: the
+   scenario where lock waiters exist most of the time. *)
+let contended =
+  Api.make ~name:"locking-study" ~heap_pages:32 ~page_size:64 (fun ~nthreads ops ->
+      Workload.Wl_util.spawn_workers ops ~n:nthreads (fun i w ->
+          for round = 1 to 20 do
+            w.Api.work (2_000 + (137 * i));
+            w.Api.lock 0;
+            let v = w.Api.read_int ~addr:8 in
+            w.Api.work 3_000;
+            w.Api.write_int ~addr:8 (v + round);
+            w.Api.unlock 0
+          done))
+
+let measure ?(threads = 8) ?(seed = 1) () =
+  (* Coarsening would hide the lock algorithm; disable it for both
+     variants so the comparison isolates blocking vs polling. *)
+  let base = Runtime.Config.without_coarsening Runtime.Config.consequence_ic in
+  let run_cfg variant cfg =
+    let r = Runtime.Det_rt.run cfg ~seed ~nthreads:threads contended in
+    {
+      variant;
+      wall_ns = r.Stats.Run_result.wall_ns;
+      token_acquisitions = r.Stats.Run_result.token_acquisitions;
+    }
+  in
+  run_cfg "blocking" base
+  :: List.map
+       (fun k ->
+         run_cfg (Printf.sprintf "polling-%d" k) (Runtime.Config.with_polling_locks base ~increment:k))
+       increments
+
+let run ?threads ?seed () =
+  let rows = measure ?threads ?seed () in
+  let table = Stats.Table.create ~columns:[ "mutex variant"; "wall"; "token acquisitions" ] in
+  List.iter
+    (fun row ->
+      Stats.Table.add_row table
+        [
+          row.variant;
+          Printf.sprintf "%.2f ms" (float_of_int row.wall_ns /. 1e6);
+          string_of_int row.token_acquisitions;
+        ])
+    rows;
+  let blocking = List.find (fun r -> r.variant = "blocking") rows in
+  let best_polling =
+    List.fold_left
+      (fun acc r -> if r.variant <> "blocking" && r.wall_ns < acc.wall_ns then r else acc)
+      (List.find (fun r -> r.variant <> "blocking") rows)
+      rows
+  in
+  {
+    Fig_output.id = "locking";
+    title = "blocking vs Kendo-style polling deterministic mutexes (section 4.1)";
+    tables = [ ("", table) ];
+    notes =
+      [
+        Printf.sprintf
+          "blocking: %.2f ms with %d token acquisitions; best-tuned polling (%s): %.2f ms with %d — blocking needs no tuning and %s"
+          (float_of_int blocking.wall_ns /. 1e6)
+          blocking.token_acquisitions best_polling.variant
+          (float_of_int best_polling.wall_ns /. 1e6)
+          best_polling.token_acquisitions
+          (if blocking.wall_ns <= best_polling.wall_ns then
+             "beats the best polling constant (the paper's claim)"
+           else "is within reach of the best polling constant");
+        "badly tuned polling constants inflate token traffic and latency — the program-specific tuning burden the paper removes";
+      ];
+  }

@@ -1,0 +1,23 @@
+(** Blocking versus polling deterministic mutexes (paper section 4.1).
+
+    Kendo's deterministic lock polls: a GMIC thread that finds the lock
+    held repeatedly bumps its own logical clock by a constant and retries,
+    so others can make progress.  The paper criticizes this on two counts
+    — the constant needs program-specific tuning, and the polling itself
+    adds latency — and contributes the first {e blocking} deterministic
+    [mutex_lock()] (depart from GMIC consideration + wait queue).
+
+    This study runs a contended-lock program under the blocking algorithm
+    and under polling with a sweep of increments: the paper's claim is
+    that blocking matches or beats the {e best-tuned} polling constant
+    with no tuning at all. *)
+
+type row = {
+  variant : string;  (** "blocking" or "polling-K" *)
+  wall_ns : int;
+  token_acquisitions : int;  (** polling retries inflate this *)
+}
+
+val increments : int list
+val measure : ?threads:int -> ?seed:int -> unit -> row list
+val run : ?threads:int -> ?seed:int -> unit -> Fig_output.t

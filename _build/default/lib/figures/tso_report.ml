@@ -1,0 +1,44 @@
+let measure () =
+  List.concat_map
+    (fun test -> List.map (fun rt -> Tso.Checker.run_test rt test) Runtime.Run.all)
+    Tso.Litmus.all
+
+let run () =
+  let verdicts = measure () in
+  let table =
+    Stats.Table.create
+      ~columns:[ "test"; "runtime"; "observed"; "tso-allowed"; "sc-allowed"; "verdict" ]
+  in
+  List.iter
+    (fun (v : Tso.Checker.verdict) ->
+      Stats.Table.add_row table
+        [
+          v.test_name;
+          v.runtime;
+          string_of_int (Tso.Model.Outcome_set.cardinal v.observed);
+          string_of_int (Tso.Model.Outcome_set.cardinal v.allowed_tso);
+          string_of_int (Tso.Model.Outcome_set.cardinal v.allowed_sc);
+          (if not v.tso_ok then "TSO-VIOLATION"
+           else if v.beyond_sc then "tso-ok (buffering seen)"
+           else "tso-ok (within sc)");
+        ])
+    verdicts;
+  let violations = List.filter (fun (v : Tso.Checker.verdict) -> not v.tso_ok) verdicts in
+  let buffering =
+    List.filter
+      (fun (v : Tso.Checker.verdict) -> v.beyond_sc && v.runtime <> Runtime.Pthreads_rt.name)
+      verdicts
+  in
+  {
+    Fig_output.id = "tso";
+    title = "litmus-test verdicts against the operational TSO/SC models";
+    tables = [ ("", table) ];
+    notes =
+      [
+        (if violations = [] then "no TSO violations on any runtime"
+         else Printf.sprintf "%d TSO VIOLATIONS" (List.length violations));
+        Printf.sprintf
+          "store buffering (TSO-only outcomes) observed in %d deterministic-runtime test runs — the implementation genuinely buffers stores"
+          (List.length buffering);
+      ];
+  }

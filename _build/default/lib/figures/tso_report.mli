@@ -1,0 +1,7 @@
+(** The TSO-consistency claim (paper section 2.3), checked mechanically
+    with litmus tests against the operational model in {!Tso.Model}. *)
+
+val measure : unit -> Tso.Checker.verdict list
+(** All litmus tests on all runtimes. *)
+
+val run : unit -> Fig_output.t

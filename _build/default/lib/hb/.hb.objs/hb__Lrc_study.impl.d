@@ -1,0 +1,1 @@
+lib/hb/lrc_study.ml: Api Hashtbl List Runtime Sim Stats Vector_clock

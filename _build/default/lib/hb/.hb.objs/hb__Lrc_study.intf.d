@@ -1,0 +1,1 @@
+lib/hb/lrc_study.mli: Api Runtime

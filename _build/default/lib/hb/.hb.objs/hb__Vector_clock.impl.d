@@ -1,0 +1,1 @@
+lib/hb/vector_clock.ml: Format Int Map

@@ -1,0 +1,29 @@
+module IntMap = Map.Make (Int)
+
+type t = int IntMap.t
+
+let empty = IntMap.empty
+let get vc tid = match IntMap.find_opt tid vc with Some n -> n | None -> 0
+
+let set vc tid n =
+  if n < get vc tid then invalid_arg "Vector_clock.set: components are monotone";
+  IntMap.add tid n vc
+
+let join a b = IntMap.union (fun _ x y -> Some (max x y)) a b
+
+let leq a b = IntMap.for_all (fun tid n -> n <= get b tid) a
+
+let equal a b = leq a b && leq b a
+
+let fold f vc acc = IntMap.fold (fun tid n acc -> if n > 0 then f tid n acc else acc) vc acc
+
+let pp fmt vc =
+  Format.fprintf fmt "{";
+  ignore
+    (IntMap.fold
+       (fun tid n first ->
+         if not first then Format.fprintf fmt ", ";
+         Format.fprintf fmt "%d:%d" tid n;
+         false)
+       vc true);
+  Format.fprintf fmt "}"

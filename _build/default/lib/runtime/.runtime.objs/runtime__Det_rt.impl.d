@@ -1,0 +1,1 @@
+lib/runtime/det_rt.ml: Api Bytes Config Cost_model Detclock Hashtbl List Printf Queue Rt_event Sim Stats Vmem

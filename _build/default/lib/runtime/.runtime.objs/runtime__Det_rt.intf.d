@@ -1,0 +1,1 @@
+lib/runtime/det_rt.mli: Api Config Cost_model Rt_event Stats

@@ -1,0 +1,1 @@
+lib/runtime/pthreads_rt.ml: Api Bytes Cost_model Hashtbl Int64 List Printf Queue Sim Stats

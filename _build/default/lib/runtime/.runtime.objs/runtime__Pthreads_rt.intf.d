@@ -1,0 +1,1 @@
+lib/runtime/pthreads_rt.mli: Api Cost_model Stats

@@ -1,0 +1,1 @@
+lib/runtime/run.ml: Config Det_rt List Pthreads_rt Stats

@@ -1,0 +1,1 @@
+lib/runtime/run.mli: Api Config Cost_model Stats

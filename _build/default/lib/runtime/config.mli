@@ -1,0 +1,91 @@
+(** Deterministic-runtime configuration and the paper's library presets.
+
+    One configurable runtime implements all four deterministic systems
+    compared in the evaluation (section 5); each preset fixes the design
+    points its paper describes:
+
+    - {!dthreads}: round-robin ordering, synchronous commits (all threads
+      rendezvous at each commit round, Fig 3a), a single global lock,
+      mprotect-based isolation cost multipliers, no Consequence
+      optimizations.
+    - {!dwc} (DThreads-with-Conversion [23]): round-robin, asynchronous
+      commits through versioned memory, single global lock.
+    - {!consequence_rr}: full Consequence machinery with round-robin
+      ordering (the Consequence-RR curve of Fig 10).
+    - {!consequence_ic}: the main system — GMIC (instruction-count)
+      ordering plus all optimizations of section 3.
+
+    Every optimization is independently toggleable for the Fig 13
+    ablation study. *)
+
+type ordering = Round_robin | Instruction_count
+
+type commit_style =
+  | Synchronous  (** commits require a global rendezvous (DThreads, Fig 3a) *)
+  | Asynchronous  (** threads commit independently under the token (Fig 3b) *)
+
+type lock_granularity =
+  | Single_global  (** every mutex aliases one global lock (DThreads/DWC) *)
+  | Per_lock
+
+type coarsening =
+  | No_coarsening
+  | Static of int  (** always coalesce exactly this many sync ops *)
+  | Adaptive  (** EWMA estimates + multiplicative max adaptation (section 3.1) *)
+
+type t = {
+  name : string;
+  ordering : ordering;
+  commit_style : commit_style;
+  lock_granularity : lock_granularity;
+  fault_cost_mult : float;  (** isolation-cost multiplier vs Conversion *)
+  commit_cost_mult : float;
+  coarsening : coarsening;
+  adaptive_overflow : bool;  (** section 3.2; false = fixed overflow interval *)
+  userspace_reads : bool;  (** section 3.4 *)
+  fast_forward : bool;  (** section 3.5 *)
+  parallel_barrier : bool;  (** section 4.2 two-phase barrier commit *)
+  thread_pool : bool;  (** section 3.3 fork-join thread reuse *)
+  chunk_limit : int option;
+      (** section 2.7 ad-hoc-synchronization support: force a commit+update
+          every N retired instructions.  [None] (the evaluation default)
+          disables it. *)
+  polling_locks : int option;
+      (** [Some k]: Kendo-style polling mutex (section 4.1): a GMIC thread
+          that finds the lock held releases the token, adds [k] to its own
+          logical clock and retries — instead of Consequence's blocking
+          algorithm (depart + wait queue).  [k] is the tuning knob the
+          paper criticizes.  [None] (default): blocking locks. *)
+  counter_jitter_ppm : int;
+      (** parts-per-million multiplicative noise on {e published} counter
+          values; nonzero models untrusted performance counters [30] and
+          intentionally breaks determinism for the soundness study. *)
+  gc_budgeted : bool;
+      (** true = Conversion's rate-limited single-threaded GC (Fig 12);
+          false = snapshots reclaimed eagerly (DThreads-style accounting,
+          which keeps only the live image plus twins) *)
+  coarsen_max_initial : int;  (** initial adaptive max coarsened-chunk length *)
+  coarsen_max_floor : int;
+  coarsen_max_cap : int;
+  ewma_alpha : float;  (** weight of the newest sample in chunk estimates *)
+}
+
+val dthreads : t
+val dwc : t
+val consequence_rr : t
+val consequence_ic : t
+
+val presets : t list
+(** The four deterministic libraries of Fig 10, in display order. *)
+
+val with_name : t -> string -> t
+val without_coarsening : t -> t
+val with_static_coarsening : t -> int -> t
+val without_adaptive_overflow : t -> t
+val without_userspace_reads : t -> t
+val without_fast_forward : t -> t
+val without_parallel_barrier : t -> t
+val without_thread_pool : t -> t
+val with_chunk_limit : t -> int -> t
+val with_polling_locks : t -> increment:int -> t
+val with_counter_jitter : t -> ppm:int -> t

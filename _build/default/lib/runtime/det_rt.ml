@@ -1,0 +1,1150 @@
+module Lc = Detclock.Logical_clock
+module Tok = Detclock.Token
+module Ofp = Detclock.Overflow_policy
+module Bd = Stats.Breakdown
+
+type mutex_rec = {
+  mutable held_by : int option;
+  lock_waitq : int Queue.t;
+  mutable cs_ewma : float; (* per-lock critical-section length estimate *)
+  mutable cs_enter_instr : int;
+}
+
+type thread_state = {
+  tid : int;
+  name : string;
+  clock : Lc.clock;
+  ws : Vmem.Workspace.t;
+  bd : Bd.t;
+  prng : Sim.Prng.t;
+  ofp : Ofp.t;
+  mutable instr_retired : int; (* actual user instructions *)
+  mutable unpublished : int; (* retired but not yet published to the clock *)
+  mutable next_overflow_in : int; (* instructions until the next overflow; 0 = fetch new *)
+  mutable chunk_start_instr : int;
+  mutable since_commit : int; (* instructions since last commit (for chunk_limit) *)
+  mutable chunk_ewma : float; (* thread-local estimate of chunk length (section 3.1) *)
+  (* Coarsening state *)
+  mutable coarsen_holding : bool;
+  mutable coarsen_ops : int;
+  mutable coarsen_start_instr : int;
+  mutable coarsen_max : int;
+  (* Lifecycle *)
+  mutable exited : bool;
+  mutable parked : bool;
+  mutable joiner : int option;
+  (* Deterministic wake conditions (permits may be spurious; these are not) *)
+  mutable lock_grant : bool;
+  mutable cond_grant : bool;
+  mutable join_grant : bool;
+  mutable barrier_grant : bool;
+  mutable post_site : int option;
+      (* mutex id whose unlock opened the current chunk; its length is
+         attributed to this thread's per-lock post-unlock estimate at the
+         next sync op.  Thread-local (paper section 3.1: "a thread-local
+         estimate is maintained for use with coarsening unlock
+         operations"), refined per lock so producer and consumer roles on
+         the same lock do not pollute each other. *)
+  mutable post_site_instr : int;
+  post_ewma : (int, float) Hashtbl.t;
+  mutable serial_sticky : bool;
+      (* Synchronous mode: this thread finished a sync op and still holds
+         its serial turn; consecutive sync ops with no intervening user
+         work stay in the same serial phase (as real DThreads' serial
+         phase processes a thread's back-to-back ops under one token
+         hold). The turn is surrendered as soon as user work executes. *)
+}
+
+type cond_rec = { cond_waitq : int Queue.t }
+
+type barrier_rec = {
+  mutable parties : int;
+  mutable arrived_tids : int list;
+  mutable generation : int;
+}
+
+type t = {
+  cfg : Config.t;
+  costs : Cost_model.t;
+  eng : Sim.Engine.t;
+  seg : Vmem.Segment.t;
+  clocks : Lc.t;
+  token : Tok.t;
+  sync_trace : Sim.Trace.t;
+  out_trace : Sim.Trace.t;
+  threads : (int, thread_state) Hashtbl.t;
+  mutexes : (int, mutex_rec) Hashtbl.t;
+  conds : (int, cond_rec) Hashtbl.t;
+  barriers : (int, barrier_rec) Hashtbl.t;
+  mutable next_tid : int;
+  mutable sync_ops : int;
+  mutable last_coord_entrant : int;
+  mutable peak_mem : int;
+  mutable last_gc_ns : int;
+  mutable pool_size : int; (* threads available for reuse (section 3.3) *)
+  mutable overflow_interrupts : int;
+  mutable coarsened_chunks : int;
+  (* DThreads-style synchronous-commit fence (Fig 3a).  Threads arriving
+     at a sync op rendezvous here; when every runnable thread has
+     arrived, the epoch's arrivals are processed serially in thread-id
+     order through [serial_queue].  The global token is not used in this
+     mode — the serial queue *is* the round-robin order, computed over
+     exactly the threads that reached the fence, which is what real
+     DThreads' parallel-phase/serial-phase structure does.  (Using the
+     free-running round-robin token here would deadlock: the token could
+     wait on a thread that is itself waiting at the fence.) *)
+  fence_arrived : (int, unit) Hashtbl.t;
+  mutable fence_generation : int;
+  mutable serial_queue : int list;
+  mutable serial_acquisitions : int;
+  observer : Rt_event.observer option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let thread rt tid = Hashtbl.find rt.threads tid
+
+let charge rt th cat ns =
+  if ns > 0 then begin
+    Bd.add th.bd cat ns;
+    Sim.Engine.advance rt.eng ns
+  end
+
+let record_sync rt th label =
+  rt.sync_ops <- rt.sync_ops + 1;
+  Sim.Trace.record rt.sync_trace ~time:(Sim.Engine.now rt.eng) ~tid:th.tid ~label
+
+let emit rt ev = match rt.observer with Some f -> f ev | None -> ()
+
+let mutex_of rt id =
+  let id = match rt.cfg.lock_granularity with Config.Single_global -> 0 | Config.Per_lock -> id in
+  match Hashtbl.find_opt rt.mutexes id with
+  | Some m -> m
+  | None ->
+      let m =
+        { held_by = None; lock_waitq = Queue.create (); cs_ewma = 0.0; cs_enter_instr = 0 }
+      in
+      Hashtbl.replace rt.mutexes id m;
+      m
+
+let cond_of rt id =
+  match Hashtbl.find_opt rt.conds id with
+  | Some c -> c
+  | None ->
+      let c = { cond_waitq = Queue.create () } in
+      Hashtbl.replace rt.conds id c;
+      c
+
+let barrier_of rt id =
+  match Hashtbl.find_opt rt.barriers id with
+  | Some b -> b
+  | None ->
+      let b = { parties = 0; arrived_tids = []; generation = 0 } in
+      Hashtbl.replace rt.barriers id b;
+      b
+
+let ewma alpha sample old = if old = 0.0 then sample else (alpha *. sample) +. ((1.0 -. alpha) *. old)
+
+(* At every sync-op boundary, attribute the chunk that just ended to the
+   (thread, lock) pair whose unlock started it.  Purely thread-local
+   state, so the fold order cannot depend on scheduling. *)
+let settle_post_unlock rt th =
+  match th.post_site with
+  | None -> ()
+  | Some mid ->
+      let len = float_of_int (th.instr_retired - th.post_site_instr) in
+      let old = match Hashtbl.find_opt th.post_ewma mid with Some v -> v | None -> 0.0 in
+      Hashtbl.replace th.post_ewma mid (ewma rt.cfg.Config.ewma_alpha len old);
+      th.post_site <- None
+
+(* ------------------------------------------------------------------ *)
+(* Memory accounting and GC                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Oldest version any runnable workspace still reads.  Parked threads do
+   not pin history: every wake path performs a commit+update before user
+   code touches memory again, so their stale bases are never read. *)
+let min_base rt =
+  Hashtbl.fold
+    (fun _ th acc ->
+      if th.exited || th.parked then acc else min acc (Vmem.Workspace.base th.ws))
+    rt.threads
+    (Vmem.Segment.current_version rt.seg)
+
+let gc_and_sample rt =
+  let now = Sim.Engine.now rt.eng in
+  (if rt.cfg.gc_budgeted then begin
+     (* Conversion's single-threaded collector reclaims at a bounded rate;
+        allocation bursts outpace it (Fig 12). *)
+     let elapsed = now - rt.last_gc_ns in
+     let budget = elapsed * rt.costs.Cost_model.gc_pages_per_ms / 1_000_000 in
+     if budget > 0 then begin
+       rt.last_gc_ns <- now;
+       ignore (Vmem.Segment.gc rt.seg ~min_base:(min_base rt) ~budget)
+     end
+   end
+   else ignore (Vmem.Segment.gc rt.seg ~min_base:(min_base rt) ~budget:max_int));
+  let resident =
+    Hashtbl.fold
+      (fun _ th acc ->
+        if th.exited then acc
+        else acc + Vmem.Workspace.resident_pages th.ws + Vmem.Workspace.dirty_count th.ws)
+      rt.threads 0
+  in
+  (* Versioned-memory systems (Conversion) hold page snapshots until the
+     GC catches up; an mprotect-based system (DThreads) holds only the
+     single shared image plus per-thread copies and twins, so its
+     footprint ignores version history. *)
+  let mem =
+    if rt.cfg.gc_budgeted then Vmem.Segment.live_snapshots rt.seg + resident
+    else Vmem.Segment.touched_pages rt.seg + resident
+  in
+  if mem > rt.peak_mem then rt.peak_mem <- mem
+
+(* ------------------------------------------------------------------ *)
+(* Logical clock publication                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Perturb a published increment when modelling untrusted counters [30].
+   ppm = 0 (the default) leaves counters exact, hence deterministic. *)
+let jittered_increment rt th n =
+  if rt.cfg.counter_jitter_ppm = 0 || n = 0 then n
+  else begin
+    let noise = (2.0 *. Sim.Prng.float th.prng) -. 1.0 in
+    let delta =
+      int_of_float (float_of_int n *. float_of_int rt.cfg.counter_jitter_ppm *. noise /. 1e6)
+    in
+    max 0 (n + delta)
+  end
+
+let publish rt th =
+  if th.unpublished > 0 then begin
+    Lc.tick th.clock (jittered_increment rt th th.unpublished);
+    th.unpublished <- 0;
+    Tok.poke rt.token
+  end
+
+(* Read the performance counter at the end of a chunk: a syscall, or a
+   cheap user-space read during a coarsened chunk (section 3.4). *)
+let counter_read rt th =
+  let cost =
+    if th.coarsen_holding && rt.cfg.userspace_reads then rt.costs.Cost_model.counter_read_user_ns
+    else rt.costs.Cost_model.counter_read_syscall_ns
+  in
+  charge rt th Bd.Library cost;
+  publish rt th
+
+(* ------------------------------------------------------------------ *)
+(* Commit / update with cost charging                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Charge a commit: the install cost is paid while holding the global
+   (Fig 9 places the commit inside the token hold).  Deferring it past
+   the release was tried and rejected: eligibility for the token during
+   the deferred window is a real-time race, which breaks determinism.
+   The parallel-barrier commit (section 4.2) is the one sanctioned
+   exception — see [barrier_wait]. *)
+let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
+  if ci.pages_committed > 0 then begin
+    let c = rt.costs in
+    let ns =
+      c.Cost_model.commit_base_ns
+      + (ci.pages_committed * c.Cost_model.page_commit_ns)
+      + (ci.pages_merged * c.Cost_model.page_merge_ns)
+    in
+    charge rt th Bd.Commit (int_of_float (float_of_int ns *. rt.cfg.commit_cost_mult));
+    record_sync rt th (Printf.sprintf "commit:%d" ci.version);
+    emit rt (Rt_event.Commit { tid = th.tid; version = ci.version; pages = ci.committed_pages })
+  end
+
+let charge_update rt th (ui : Vmem.Workspace.update_info) =
+  if ui.to_version > ui.from_version then begin
+    let c = rt.costs in
+    let ns =
+      c.Cost_model.update_base_ns
+      + (ui.pages_propagated * c.Cost_model.page_map_ns)
+      + (ui.pages_refreshed * c.Cost_model.page_refresh_ns)
+    in
+    charge rt th Bd.Update ns
+  end
+
+(* The paper's convCommitAndUpdateMem(). *)
+let commit_and_update rt th =
+  let ci = Vmem.Workspace.commit th.ws in
+  charge_commit rt th ci;
+  let ui = Vmem.Workspace.update th.ws in
+  charge_update rt th ui;
+  th.since_commit <- 0;
+  gc_and_sample rt
+
+(* ------------------------------------------------------------------ *)
+(* DThreads fence (synchronous commits, Fig 3a)                       *)
+(* ------------------------------------------------------------------ *)
+
+let fence_participant th = (not th.exited) && (not th.parked) && not th.coarsen_holding
+
+let fence_complete rt =
+  Hashtbl.fold
+    (fun tid th ok -> ok && ((not (fence_participant th)) || Hashtbl.mem rt.fence_arrived tid))
+    rt.threads true
+
+let fence_release rt =
+  let arrived =
+    Hashtbl.fold (fun tid () acc -> tid :: acc) rt.fence_arrived [] |> List.sort compare
+  in
+  Hashtbl.reset rt.fence_arrived;
+  rt.fence_generation <- rt.fence_generation + 1;
+  (* The epoch's serial phase processes arrivals in thread-id order. *)
+  rt.serial_queue <- rt.serial_queue @ arrived;
+  List.iter (fun tid -> Sim.Engine.wakeup rt.eng tid) arrived
+
+(* Called whenever the participant set shrinks (park, exit): the fence may
+   now be complete without a new arrival. *)
+let fence_check rt =
+  if
+    rt.cfg.ordering = Config.Round_robin
+    && Hashtbl.length rt.fence_arrived > 0
+    && fence_complete rt
+  then fence_release rt
+
+let fence_wait rt th =
+  Hashtbl.replace rt.fence_arrived th.tid ();
+  if fence_complete rt then fence_release rt
+  else begin
+    let gen = rt.fence_generation in
+    while rt.fence_generation = gen do
+      Sim.Engine.block rt.eng ~reason:"fence"
+    done
+  end;
+  ignore th
+
+let serial_wait rt th =
+  let at_head () = match rt.serial_queue with head :: _ -> head = th.tid | [] -> false in
+  while not (at_head ()) do
+    Sim.Engine.block rt.eng ~reason:"serial-turn"
+  done;
+  rt.serial_acquisitions <- rt.serial_acquisitions + 1
+
+let serial_done rt th =
+  match rt.serial_queue with
+  | head :: rest when head = th.tid ->
+      rt.serial_queue <- rest;
+      (match rest with next :: _ -> Sim.Engine.wakeup rt.eng next | [] -> ())
+  | _ -> invalid_arg "Det_rt.serial_done: thread is not at the head of the serial queue"
+
+(* Round-robin ordering is implemented with the epoch fence + serial
+   queue; instruction-count ordering with the GMIC token. *)
+let uses_fence rt = rt.cfg.Config.ordering = Config.Round_robin
+
+(* Acquire the right to perform a deterministic event: the global token
+   (asynchronous commits) or the epoch fence plus the serial turn
+   (synchronous commits, DThreads). *)
+let acquire_global rt th =
+  let t0 = Sim.Engine.now rt.eng in
+  if uses_fence rt then begin
+    if th.serial_sticky then
+      (* Back-to-back sync op: still our serial turn, no new fence. *)
+      th.serial_sticky <- false
+    else begin
+      fence_wait rt th;
+      serial_wait rt th
+    end
+  end
+  else Tok.wait rt.token ~tid:th.tid;
+  Bd.add th.bd Bd.Determ_wait (Sim.Engine.now rt.eng - t0)
+
+let release_global rt th =
+  if uses_fence rt then th.serial_sticky <- true
+  else Tok.release rt.token ~tid:th.tid
+
+(* Surrender a deferred serial turn (before running user work, parking,
+   or exiting). *)
+let flush_sticky rt th =
+  if th.serial_sticky then begin
+    th.serial_sticky <- false;
+    serial_done rt th
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Global coordination (enter / leave)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* End-of-chunk bookkeeping common to every coordination entry. *)
+let close_chunk rt th =
+  let chunk_len = th.instr_retired - th.chunk_start_instr in
+  th.chunk_ewma <- ewma rt.cfg.ewma_alpha (float_of_int chunk_len) th.chunk_ewma;
+  counter_read rt th;
+  Lc.pause th.clock
+
+let open_chunk rt th =
+  Lc.resume th.clock;
+  th.chunk_start_instr <- th.instr_retired;
+  Ofp.begin_chunk th.ofp;
+  th.next_overflow_in <- 0;
+  ignore rt
+
+(* The paper's clockPause(); waitToken() prologue.  A thread inside a
+   coarsened chunk already holds the global: its hold converts directly
+   into this operation's coordination phase (no release/re-acquire, and
+   the deferred commits ride along with this op's commit). *)
+let enter_coordination rt th =
+  if th.coarsen_holding then begin
+    (* Already holding the global: the post-unlock sample folds in global
+       order. *)
+    settle_post_unlock rt th;
+    close_chunk rt th;
+    th.coarsen_holding <- false;
+    fence_check rt;
+    charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns;
+    (* The coarsened chunk's coalesced commit must happen here: the
+       deferred writes include critical sections whose locks were already
+       released, and the operation we are converting into may block and
+       surrender the global without committing (e.g. a contended lock).
+       Publishing them now preserves the release semantics of the
+       coarsened unlocks. *)
+    commit_and_update rt th
+  end
+  else begin
+    close_chunk rt th;
+    charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns;
+    acquire_global rt th;
+    (* Post-unlock chunk samples fold into the shared per-lock estimate
+       only while holding the global, so the fold order — and with it
+       every later coarsening decision — is deterministic. *)
+    settle_post_unlock rt th;
+    charge rt th Bd.Library rt.costs.Cost_model.token_ns
+  end;
+  (* Multiplicative increase / decrease of the coarsening budget: repeated
+     coordination by the same thread doubles it, alternation halves it
+     (section 3.1). *)
+  (if rt.cfg.coarsening = Config.Adaptive then
+     if rt.last_coord_entrant = th.tid then
+       th.coarsen_max <- min rt.cfg.coarsen_max_cap (th.coarsen_max * 2)
+     else th.coarsen_max <- max rt.cfg.coarsen_max_floor (th.coarsen_max / 2));
+  rt.last_coord_entrant <- th.tid
+
+let leave_coordination rt th =
+  release_global rt th;
+  charge rt th Bd.Library rt.costs.Cost_model.token_ns;
+  open_chunk rt th
+
+(* Begin a coarsened chunk: keep the token and defer commits. *)
+let begin_coarsen rt th =
+  th.coarsen_holding <- true;
+  th.coarsen_ops <- 0;
+  th.coarsen_start_instr <- th.instr_retired;
+  rt.coarsened_chunks <- rt.coarsened_chunks + 1;
+  fence_check rt;
+  open_chunk rt th
+
+(* End a coarsened chunk: single coalesced commit, then release. *)
+let end_coarsen rt th =
+  assert th.coarsen_holding;
+  th.coarsen_holding <- false;
+  counter_read rt th;
+  commit_and_update rt th;
+  release_global rt th;
+  charge rt th Bd.Library rt.costs.Cost_model.token_ns;
+  th.chunk_start_instr <- th.instr_retired;
+  Ofp.begin_chunk th.ofp;
+  th.next_overflow_in <- 0
+
+(* Should we coarsen past this coordination phase?  [estimate] is the
+   expected length of the upcoming piece of local work. *)
+let coarsen_decision rt th ~estimate =
+  match rt.cfg.coarsening with
+  | Config.No_coarsening -> false
+  | Config.Static k -> th.coarsen_ops < k
+  | Config.Adaptive ->
+      let accumulated =
+        if th.coarsen_holding then th.instr_retired - th.coarsen_start_instr else 0
+      in
+      accumulated + int_of_float estimate <= th.coarsen_max
+
+(* ------------------------------------------------------------------ *)
+(* Local work execution (the chunk executor)                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec consume rt th n =
+  if n > 0 then begin
+    flush_sticky rt th;
+    (* A coarsened chunk that overruns its budget ends immediately: the
+       coalesced commit happens mid-chunk (TSO permits committing early)
+       and the token is released, bounding how long other threads can be
+       blocked when the post-coarsening chunk turns out to be long
+       (the net-loss case acknowledged in section 3.1). *)
+    if th.coarsen_holding && th.instr_retired - th.coarsen_start_instr > th.coarsen_max then
+      end_coarsen rt th;
+    (if th.next_overflow_in <= 0 then
+       let gap =
+         if Lc.is_gmic rt.clocks ~tid:th.tid && Tok.waiting_count rt.token > 0 then
+           Lc.next_waiting_gap rt.clocks ~tid:th.tid ~waiting:(fun tid ->
+               Tok.is_waiting rt.token ~tid)
+         else None
+       in
+       th.next_overflow_in <- Ofp.next_interval th.ofp ~waiter_gap:gap);
+    let step = min n th.next_overflow_in in
+    charge rt th Bd.Chunk (Cost_model.work_ns rt.costs th.prng step);
+    th.instr_retired <- th.instr_retired + step;
+    th.unpublished <- th.unpublished + step;
+    th.next_overflow_in <- th.next_overflow_in - step;
+    th.since_commit <- th.since_commit + step;
+    if th.next_overflow_in = 0 then begin
+      (* Counter overflow interrupt: publish and notify (section 3.2).
+         The kernel module publishes directly from the interrupt handler,
+         so no syscall cost is charged on top of the interrupt itself. *)
+      rt.overflow_interrupts <- rt.overflow_interrupts + 1;
+      charge rt th Bd.Library rt.costs.Cost_model.overflow_interrupt_ns;
+      publish rt th
+    end;
+    (* Ad-hoc synchronization support (section 2.7): bound the number of
+       instructions a chunk may retire before a forced commit+update. *)
+    (match rt.cfg.chunk_limit with
+    | Some limit when th.since_commit >= limit && not th.coarsen_holding ->
+        enter_coordination rt th;
+        commit_and_update rt th;
+        record_sync rt th "forced-commit";
+        leave_coordination rt th
+    | Some _ | None -> ());
+    consume rt th (n - step)
+  end
+
+let mem_instr rt len = max 1 (len / 8 * rt.costs.Cost_model.mem_op_instr_per_8bytes)
+
+let charge_new_faults rt th before_faults =
+  let after = (Vmem.Workspace.stats th.ws).Vmem.Workspace.write_faults in
+  let faults = after - before_faults in
+  if faults > 0 then begin
+    let ns =
+      int_of_float
+        (float_of_int (faults * rt.costs.Cost_model.page_fault_ns) *. rt.cfg.fault_cost_mult)
+    in
+    charge rt th Bd.Page_fault ns
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Parking (deterministic wait conditions)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Park the calling thread until [ready ()] holds.  The thread departs
+   from GMIC consideration (clockDepart, Fig 7) and is excluded from the
+   fence while parked.  The matching {!grant} — executed by the waker at
+   a deterministic point — re-adds it to GMIC consideration and
+   fast-forwards its clock; doing either on the wakee's side would make
+   eligibility depend on the real-time wake latency and break
+   determinism (the paper's wakeupThread() likewise "adds the thread
+   back into consideration for the GMIC"). *)
+let park rt th ~category ~reason ~ready =
+  flush_sticky rt th;
+  Lc.depart th.clock;
+  th.parked <- true;
+  Tok.poke rt.token;
+  fence_check rt;
+  let t0 = Sim.Engine.now rt.eng in
+  while not (ready ()) do
+    Sim.Engine.block rt.eng ~reason
+  done;
+  Bd.add th.bd category (Sim.Engine.now rt.eng - t0);
+  (* Normally the granter already cleared these (and fast-forwarded our
+     clock); when the grant landed before we even blocked — ready() was
+     true on entry — restore them ourselves.  No simulated time passes in
+     that path, so the flicker is invisible to other threads. *)
+  th.parked <- false;
+  Lc.arrive th.clock;
+  Tok.poke rt.token
+
+(* The waker's half of a wake-up (the paper's wakeupThread()): set the
+   wakee's deterministic wake condition via [before], fast-forward its
+   clock to the waker's (section 3.5), rejoin it to GMIC consideration,
+   and schedule it. *)
+let grant rt ~waker wakee ~before =
+  before ();
+  if rt.cfg.fast_forward then
+    ignore (Lc.fast_forward wakee.clock ~to_count:(Lc.published waker.clock));
+  wakee.parked <- false;
+  Lc.arrive wakee.clock;
+  Tok.poke rt.token;
+  Sim.Engine.wakeup rt.eng wakee.tid
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization operations                                         *)
+(* ------------------------------------------------------------------ *)
+
+let measure_cs_enter th (m : mutex_rec) = m.cs_enter_instr <- th.instr_retired
+
+let rec mutex_lock rt th mid =
+  let m = mutex_of rt mid in
+  if th.coarsen_holding then begin
+    settle_post_unlock rt th;
+    if m.held_by = None then begin
+      (* Coarsened fast path: we already hold the token; acquire without a
+         coordination phase and defer the commit. *)
+      m.held_by <- Some th.tid;
+      measure_cs_enter th m;
+      th.coarsen_ops <- th.coarsen_ops + 1;
+      record_sync rt th (Printf.sprintf "lock:%d" mid);
+      emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_mutex mid });
+      counter_read rt th
+    end
+    else
+      (* Lock contention: fall back to the full algorithm; its
+         coordination prologue converts our coarsened hold in place. *)
+      mutex_lock_slow rt th mid
+  end
+  else mutex_lock_slow rt th mid
+
+(* The mutexLock() of Fig 7. *)
+and mutex_lock_slow rt th mid =
+  let m = mutex_of rt mid in
+  let acquired = ref false in
+  while not !acquired do
+    enter_coordination rt th;
+    if m.held_by = None then begin
+      m.held_by <- Some th.tid;
+      commit_and_update rt th;
+      record_sync rt th (Printf.sprintf "lock:%d" mid);
+      emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_mutex mid });
+      measure_cs_enter th m;
+      acquired := true;
+      (* Coarsen across the critical section if its estimated length fits
+         (section 3.1, per-lock estimate). *)
+      if coarsen_decision rt th ~estimate:m.cs_ewma then begin
+        begin_coarsen rt th;
+        th.coarsen_ops <- 1
+      end
+      else leave_coordination rt th
+    end
+    else begin
+      match rt.cfg.polling_locks with
+      | Some increment ->
+          (* Kendo-style polling (section 4.1): stay in GMIC
+             consideration, bump our clock past the competition and spin.
+             Deterministic (the increment is a fixed constant) but needs
+             program-specific tuning of [increment] — the weakness
+             Consequence's blocking algorithm removes. *)
+          release_global rt th;
+          Lc.resume th.clock;
+          Lc.tick th.clock increment;
+          th.instr_retired <- th.instr_retired + increment;
+          Lc.pause th.clock;
+          Tok.poke rt.token;
+          charge rt th Bd.Lock_wait rt.costs.Cost_model.token_ns
+      | None ->
+          (* Held: depart, queue, release the token, block (Fig 7 lines
+             9-14) — the paper's first blocking deterministic mutex. *)
+          th.lock_grant <- false;
+          Queue.push th.tid m.lock_waitq;
+          release_global rt th;
+          park rt th ~category:Bd.Lock_wait
+            ~reason:(Printf.sprintf "lock:%d" mid)
+            ~ready:(fun () -> th.lock_grant)
+    end
+  done
+
+(* Release the mutex and grant the next waiter; shared by unlock and
+   cond_wait.  Must run while holding the token. *)
+let release_mutex rt ~waker (m : mutex_rec) =
+  m.held_by <- None;
+  if not (Queue.is_empty m.lock_waitq) then begin
+    let next = Queue.pop m.lock_waitq in
+    let waiter = thread rt next in
+    grant rt ~waker waiter ~before:(fun () -> waiter.lock_grant <- true)
+  end
+
+let update_cs_ewma rt th (m : mutex_rec) =
+  let len = float_of_int (th.instr_retired - m.cs_enter_instr) in
+  m.cs_ewma <- ewma rt.cfg.ewma_alpha len m.cs_ewma
+
+(* The mutexUnlock() of Fig 9. *)
+let mutex_unlock rt th mid =
+  let m = mutex_of rt mid in
+  if m.held_by <> Some th.tid then
+    invalid_arg (Printf.sprintf "unlock: thread %d does not hold mutex %d" th.tid mid);
+  update_cs_ewma rt th m;
+  (* Expected length of the chunk that follows this unlock: this thread's
+     estimate for this lock, falling back to its generic chunk estimate. *)
+  let post_estimate =
+    match Hashtbl.find_opt th.post_ewma mid with Some v when v > 0.0 -> v | _ -> th.chunk_ewma
+  in
+  let note_post () =
+    th.post_site <- Some mid;
+    th.post_site_instr <- th.instr_retired
+  in
+  if th.coarsen_holding then begin
+    settle_post_unlock rt th;
+    release_mutex rt ~waker:th m;
+    record_sync rt th (Printf.sprintf "unlock:%d" mid);
+    emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
+    th.coarsen_ops <- th.coarsen_ops + 1;
+    charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns;
+    (* Continue coarsening over the upcoming chunk if it is expected to
+       fit (section 3.1). *)
+    if not (coarsen_decision rt th ~estimate:post_estimate) then end_coarsen rt th;
+    note_post ()
+  end
+  else begin
+    enter_coordination rt th;
+    release_mutex rt ~waker:th m;
+    commit_and_update rt th;
+    record_sync rt th (Printf.sprintf "unlock:%d" mid);
+    emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
+    if coarsen_decision rt th ~estimate:post_estimate then begin_coarsen rt th
+    else leave_coordination rt th;
+    note_post ()
+  end
+
+let cond_wait rt th cid mid =
+  let m = mutex_of rt mid in
+  if m.held_by <> Some th.tid then
+    invalid_arg (Printf.sprintf "cond_wait: thread %d does not hold mutex %d" th.tid mid);
+  let c = cond_of rt cid in
+  enter_coordination rt th;
+  update_cs_ewma rt th m;
+  release_mutex rt ~waker:th m;
+  commit_and_update rt th;
+  record_sync rt th (Printf.sprintf "cond_wait:%d" cid);
+  emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
+  th.cond_grant <- false;
+  Queue.push th.tid c.cond_waitq;
+  release_global rt th;
+  charge rt th Bd.Library rt.costs.Cost_model.token_ns;
+  park rt th ~category:Bd.Lock_wait
+    ~reason:(Printf.sprintf "cond:%d" cid)
+    ~ready:(fun () -> th.cond_grant);
+  emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_cond cid });
+  open_chunk rt th;
+  (* Re-acquire the mutex, competing deterministically with other lockers. *)
+  mutex_lock rt th mid
+
+let rec cond_signal rt th cid ~broadcast =
+  let c = cond_of rt cid in
+  if th.coarsen_holding && Queue.is_empty c.cond_waitq then begin
+    settle_post_unlock rt th;
+    (* Signalling with no waiter is purely local: nothing to wake, and the
+       accompanying commit may be coalesced like any other under TSO, so
+       the op need not end the coarsened chunk. *)
+    record_sync rt th (Printf.sprintf "%s:%d" (if broadcast then "broadcast" else "signal") cid);
+    th.coarsen_ops <- th.coarsen_ops + 1;
+    charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns
+  end
+  else cond_signal_slow rt th cid ~broadcast
+
+and cond_signal_slow rt th cid ~broadcast =
+  let c = cond_of rt cid in
+  enter_coordination rt th;
+  let rec grant_one () =
+    if not (Queue.is_empty c.cond_waitq) then begin
+      let next = Queue.pop c.cond_waitq in
+      let waiter = thread rt next in
+      grant rt ~waker:th waiter ~before:(fun () -> waiter.cond_grant <- true);
+      charge rt th Bd.Library rt.costs.Cost_model.wake_ns;
+      if broadcast then grant_one ()
+    end
+  in
+  grant_one ();
+  commit_and_update rt th;
+  record_sync rt th (Printf.sprintf "%s:%d" (if broadcast then "broadcast" else "signal") cid);
+  emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_cond cid });
+  leave_coordination rt th
+
+let barrier_init rt th bid parties =
+  if parties <= 0 then invalid_arg "barrier_init: parties must be > 0";
+  let b = barrier_of rt bid in
+  b.parties <- parties;
+  ignore th
+
+(* Deterministic barrier with Conversion's two-phase parallel commit
+   (section 4.2). *)
+let barrier_wait rt th bid =
+  let b = barrier_of rt bid in
+  if b.parties = 0 then invalid_arg (Printf.sprintf "barrier %d: not initialized" bid);
+  enter_coordination rt th;
+  let c = rt.costs in
+  let phase2_pages = ref 0 in
+  (if rt.cfg.parallel_barrier then begin
+     (* Phase 1 (serial, token held): order the commit and install its
+        content; charge only the cheap ordering work.  Phase 2 (the bulk
+        merge) is charged after the token is released, so committers
+        overlap. *)
+     let ci = Vmem.Workspace.commit th.ws in
+     if ci.Vmem.Workspace.pages_committed > 0 then begin
+       charge rt th Bd.Commit
+         (c.Cost_model.commit_base_ns
+         + (ci.Vmem.Workspace.pages_committed * c.Cost_model.barrier_phase1_page_ns));
+       record_sync rt th (Printf.sprintf "commit:%d" ci.Vmem.Workspace.version);
+       emit rt
+         (Rt_event.Commit
+            {
+              tid = th.tid;
+              version = ci.Vmem.Workspace.version;
+              pages = ci.Vmem.Workspace.committed_pages;
+            })
+     end;
+     phase2_pages :=
+       (ci.Vmem.Workspace.pages_committed * c.Cost_model.page_commit_ns)
+       + (ci.Vmem.Workspace.pages_merged * c.Cost_model.page_merge_ns)
+   end
+   else begin
+     (* Serial barrier commit (DWC-style, paper section 5.2): the entire
+        page volume is installed while holding the turn, so concurrent
+        barrier committers serialize. *)
+     let ci = Vmem.Workspace.commit th.ws in
+     if ci.Vmem.Workspace.pages_committed > 0 then begin
+       let c = rt.costs in
+       let ns =
+         c.Cost_model.commit_base_ns
+         + (ci.Vmem.Workspace.pages_committed * c.Cost_model.page_commit_ns)
+         + (ci.Vmem.Workspace.pages_merged * c.Cost_model.page_merge_ns)
+       in
+       charge rt th Bd.Commit (int_of_float (float_of_int ns *. rt.cfg.commit_cost_mult));
+       record_sync rt th (Printf.sprintf "commit:%d" ci.Vmem.Workspace.version);
+       emit rt
+         (Rt_event.Commit
+            {
+              tid = th.tid;
+              version = ci.Vmem.Workspace.version;
+              pages = ci.Vmem.Workspace.committed_pages;
+            })
+     end
+   end);
+  th.since_commit <- 0;
+  record_sync rt th (Printf.sprintf "barrier:%d" bid);
+  emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_barrier bid });
+  b.arrived_tids <- th.tid :: b.arrived_tids;
+  let last = List.length b.arrived_tids = b.parties in
+  th.barrier_grant <- false;
+  release_global rt th;
+  charge rt th Bd.Library rt.costs.Cost_model.token_ns;
+  (* Waiters run phase 2 and the internal (non-deterministic) barrier
+     outside the deterministic ordering: they depart, and re-arrive only
+     through their grant — a deterministic point in the global order.
+     The LAST arriver must stay visible (active) throughout its phase 2
+     and the grants: if it departed, its re-arrival would happen at a
+     real-time-delayed instant that tied-clock threads race, which is
+     nondeterministic (found by the determinism fuzzer). *)
+  if not last then begin
+    Lc.depart th.clock;
+    Tok.poke rt.token
+  end;
+  charge rt th Bd.Commit (int_of_float (float_of_int !phase2_pages *. rt.cfg.commit_cost_mult));
+  if last then begin
+    let others = List.filter (fun tid -> tid <> th.tid) b.arrived_tids in
+    b.arrived_tids <- [];
+    b.generation <- b.generation + 1;
+    List.iter
+      (fun tid ->
+        let w = thread rt tid in
+        grant rt ~waker:th w ~before:(fun () -> w.barrier_grant <- true))
+      others;
+    charge rt th Bd.Library (List.length others * rt.costs.Cost_model.wake_ns)
+  end
+  else
+    (* The wake condition must be the grant itself: a stale wakeup permit
+       plus a generation test could let a waiter slip out of the park
+       before its grant ran (leaving it departed forever). *)
+    park rt th ~category:Bd.Barrier_wait
+      ~reason:(Printf.sprintf "barrier:%d" bid)
+      ~ready:(fun () -> th.barrier_grant);
+  emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_barrier bid });
+  (* Everyone updates to the latest version after the internal barrier;
+     these updates run concurrently. *)
+  let ui = Vmem.Workspace.update th.ws in
+  charge_update rt th ui;
+  gc_and_sample rt;
+  open_chunk rt th
+
+(* ------------------------------------------------------------------ *)
+(* Atomic read-modify-write (section 2.7)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Native RMW: a plain load+store through the isolated workspace.  Under
+   deterministic isolation this silently loses concurrent increments —
+   exactly the hazard the paper describes. *)
+let plain_fetch_add rt th ~addr delta =
+  consume rt th 10;
+  let before = (Vmem.Workspace.stats th.ws).Vmem.Workspace.write_faults in
+  let v = Vmem.Workspace.read_int th.ws ~addr in
+  Vmem.Workspace.write_int th.ws ~addr (v + delta);
+  charge_new_faults rt th before;
+  v
+
+(* The paper's proposed fix: token + fresh view + commit. *)
+let atomic_fetch_add rt th ~addr delta =
+  enter_coordination rt th;
+  commit_and_update rt th;
+  let before = (Vmem.Workspace.stats th.ws).Vmem.Workspace.write_faults in
+  let v = Vmem.Workspace.read_int th.ws ~addr in
+  Vmem.Workspace.write_int th.ws ~addr (v + delta);
+  charge_new_faults rt th before;
+  let ci = Vmem.Workspace.commit th.ws in
+  charge_commit rt th ci;
+  let ui = Vmem.Workspace.update th.ws in
+  charge_update rt th ui;
+  record_sync rt th (Printf.sprintf "atomic:%d" addr);
+  leave_coordination rt th;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Thread lifecycle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec make_ops rt th : Api.ops =
+  {
+    Api.tid = th.tid;
+    self_name = th.name;
+    work = (fun n -> consume rt th n);
+    read =
+      (fun ~addr ~len ->
+        consume rt th (mem_instr rt len);
+        Vmem.Workspace.read th.ws ~addr ~len);
+    write =
+      (fun ~addr buf ->
+        consume rt th (mem_instr rt (Bytes.length buf));
+        let before = (Vmem.Workspace.stats th.ws).Vmem.Workspace.write_faults in
+        Vmem.Workspace.write th.ws ~addr buf;
+        charge_new_faults rt th before);
+    read_int =
+      (fun ~addr ->
+        consume rt th 1;
+        Vmem.Workspace.read_int th.ws ~addr);
+    write_int =
+      (fun ~addr v ->
+        consume rt th 1;
+        let before = (Vmem.Workspace.stats th.ws).Vmem.Workspace.write_faults in
+        Vmem.Workspace.write_int th.ws ~addr v;
+        charge_new_faults rt th before);
+    fetch_add = (fun ~addr delta -> plain_fetch_add rt th ~addr delta);
+    atomic_fetch_add = (fun ~addr delta -> atomic_fetch_add rt th ~addr delta);
+    lock = (fun m -> mutex_lock rt th m);
+    unlock = (fun m -> mutex_unlock rt th m);
+    cond_wait = (fun c m -> cond_wait rt th c m);
+    cond_signal = (fun c -> cond_signal rt th c ~broadcast:false);
+    cond_broadcast = (fun c -> cond_signal rt th c ~broadcast:true);
+    barrier_init = (fun b parties -> barrier_init rt th b parties);
+    barrier_wait = (fun b -> barrier_wait rt th b);
+    spawn = (fun ?name body -> spawn_thread rt th ?name body);
+    join = (fun t -> join_thread rt th t);
+    log_output =
+      (fun msg -> Sim.Trace.record rt.out_trace ~time:(Sim.Engine.now rt.eng) ~tid:th.tid ~label:msg);
+    yield = (fun () -> ());
+  }
+
+and new_thread_state rt ~tid ~name ~inherit_count =
+  let clock = Lc.register rt.clocks ~tid in
+  if inherit_count > 0 then ignore (Lc.fast_forward clock ~to_count:inherit_count);
+  let ofp_kind =
+    if rt.cfg.adaptive_overflow then
+      Ofp.Adaptive { base = Ofp.default_base; cap = Ofp.default_cap }
+    else Ofp.Fixed Ofp.default_base
+  in
+  {
+    tid;
+    name;
+    clock;
+    ws = Vmem.Workspace.create rt.seg ~tid;
+    bd = Bd.create ();
+    prng = Sim.Prng.split (Sim.Engine.prng rt.eng);
+    ofp = Ofp.create ofp_kind;
+    instr_retired = 0;
+    unpublished = 0;
+    next_overflow_in = 0;
+    chunk_start_instr = 0;
+    since_commit = 0;
+    chunk_ewma = 0.0;
+    coarsen_holding = false;
+    coarsen_ops = 0;
+    coarsen_start_instr = 0;
+    coarsen_max = rt.cfg.coarsen_max_initial;
+    exited = false;
+    parked = false;
+    joiner = None;
+    lock_grant = false;
+    cond_grant = false;
+    join_grant = false;
+    barrier_grant = false;
+    post_site = None;
+    post_site_instr = 0;
+    post_ewma = Hashtbl.create 8;
+    serial_sticky = false;
+  }
+
+and thread_exit rt th =
+  enter_coordination rt th;
+  commit_and_update rt th;
+  record_sync rt th "exit";
+  emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_thread th.tid ^ ":exit" });
+  th.exited <- true;
+  if rt.cfg.thread_pool then rt.pool_size <- rt.pool_size + 1;
+  release_global rt th;
+  Lc.finish th.clock;
+  Tok.poke rt.token;
+  fence_check rt;
+  (match th.joiner with
+  | Some j -> grant rt ~waker:th (thread rt j) ~before:(fun () -> (thread rt j).join_grant <- true)
+  | None -> ());
+  flush_sticky rt th
+
+and spawn_thread rt th ?name body =
+  enter_coordination rt th;
+  commit_and_update rt th;
+  let child_tid = rt.next_tid in
+  rt.next_tid <- child_tid + 1;
+  let name = match name with Some n -> n | None -> Printf.sprintf "t%d" child_tid in
+  (* Thread-pool reuse (section 3.3) versus a full fork that copies every
+     populated page-table entry of the Conversion segment. *)
+  (if rt.cfg.thread_pool && rt.pool_size > 0 then begin
+     rt.pool_size <- rt.pool_size - 1;
+     charge rt th Bd.Fork rt.costs.Cost_model.pool_reuse_ns
+   end
+   else begin
+     let populated = Vmem.Segment.touched_pages rt.seg in
+     charge rt th Bd.Fork
+       (rt.costs.Cost_model.fork_base_ns + (populated * rt.costs.Cost_model.fork_page_ns))
+   end);
+  let child = new_thread_state rt ~tid:child_tid ~name ~inherit_count:(Lc.published th.clock) in
+  Hashtbl.replace rt.threads child_tid child;
+  emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_thread child_tid });
+  let fiber_id =
+    Sim.Engine.spawn rt.eng ~name (fun () ->
+        (* A recycled thread must refresh its view of memory. *)
+        emit rt (Rt_event.Acquire { tid = child_tid; obj = Rt_event.obj_thread child_tid });
+        let ui = Vmem.Workspace.update child.ws in
+        charge_update rt child ui;
+        body (make_ops rt child);
+        thread_exit rt child)
+  in
+  assert (fiber_id = child_tid);
+  record_sync rt th (Printf.sprintf "spawn:%d" child_tid);
+  Tok.poke rt.token;
+  leave_coordination rt th;
+  child_tid
+
+and join_thread rt th target_tid =
+  (* Parking while holding a coarsened global would deadlock the system;
+     end the hold before waiting for the child. *)
+  if th.coarsen_holding then end_coarsen rt th;
+  let target =
+    match Hashtbl.find_opt rt.threads target_tid with
+    | Some target -> target
+    | None -> invalid_arg (Printf.sprintf "join: unknown thread %d" target_tid)
+  in
+  if target.joiner <> None then invalid_arg (Printf.sprintf "join: thread %d already joined" target_tid);
+  if not target.exited then begin
+    target.joiner <- Some th.tid;
+    th.join_grant <- false;
+    close_chunk rt th;
+    park rt th ~category:Bd.Lock_wait
+      ~reason:(Printf.sprintf "join:%d" target_tid)
+      ~ready:(fun () -> th.join_grant);
+    Lc.resume th.clock;
+    th.chunk_start_instr <- th.instr_retired
+  end;
+  (* Joining is a deterministic event: token + update to observe the
+     child's final commits. *)
+  enter_coordination rt th;
+  commit_and_update rt th;
+  record_sync rt th (Printf.sprintf "join:%d" target_tid);
+  emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_thread target_tid ^ ":exit" });
+  leave_coordination rt th
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer (program : Api.t) =
+  let nthreads = match nthreads with Some n -> n | None -> program.Api.default_threads in
+  let eng = Sim.Engine.create ~seed () in
+  let seg =
+    Vmem.Segment.create ~name:program.Api.name ~pages:program.Api.heap_pages
+      ~page_size:program.Api.page_size ()
+  in
+  let clocks = Lc.create () in
+  let ordering =
+    match cfg.Config.ordering with
+    | Config.Round_robin -> Tok.Round_robin
+    | Config.Instruction_count -> Tok.Instruction_count
+  in
+  let token = Tok.create eng clocks ordering in
+  let rt =
+    {
+      cfg;
+      costs;
+      eng;
+      seg;
+      clocks;
+      token;
+      sync_trace = Sim.Trace.create ~capture:true ();
+      out_trace = Sim.Trace.create ~capture:true ();
+      threads = Hashtbl.create 64;
+      mutexes = Hashtbl.create 16;
+      conds = Hashtbl.create 16;
+      barriers = Hashtbl.create 16;
+      next_tid = 1;
+      sync_ops = 0;
+      last_coord_entrant = -1;
+      peak_mem = 0;
+      last_gc_ns = 0;
+      pool_size = 0;
+      overflow_interrupts = 0;
+      coarsened_chunks = 0;
+      fence_arrived = Hashtbl.create 16;
+      fence_generation = 0;
+      serial_queue = [];
+      serial_acquisitions = 0;
+      observer;
+    }
+  in
+  let main_state = new_thread_state rt ~tid:0 ~name:"main" ~inherit_count:0 in
+  Hashtbl.replace rt.threads 0 main_state;
+  let fiber_id =
+    Sim.Engine.spawn eng ~name:"main" (fun () ->
+        program.Api.main ~nthreads (make_ops rt main_state);
+        thread_exit rt main_state)
+  in
+  assert (fiber_id = 0);
+  Sim.Engine.run eng;
+  let per_thread =
+    Hashtbl.fold
+      (fun _ th acc ->
+        {
+          Stats.Run_result.tid = th.tid;
+          thread_name = th.name;
+          breakdown = th.bd;
+          instructions = th.instr_retired;
+        }
+        :: acc)
+      rt.threads []
+    |> List.sort (fun a b -> compare a.Stats.Run_result.tid b.Stats.Run_result.tid)
+  in
+  let sum f = Hashtbl.fold (fun _ th acc -> acc + f th) rt.threads 0 in
+  let ws_stat f = sum (fun th -> f (Vmem.Workspace.stats th.ws)) in
+  {
+    Stats.Run_result.program = program.Api.name;
+    runtime = cfg.Config.name;
+    nthreads;
+    seed;
+    wall_ns = Sim.Engine.now eng;
+    per_thread;
+    sync_ops = rt.sync_ops;
+    token_acquisitions = Tok.acquisitions token + rt.serial_acquisitions;
+    pages_propagated = ws_stat (fun s -> s.Vmem.Workspace.pages_propagated);
+    pages_committed = ws_stat (fun s -> s.Vmem.Workspace.pages_committed);
+    pages_merged = ws_stat (fun s -> s.Vmem.Workspace.pages_merged);
+    bytes_merged = ws_stat (fun s -> s.Vmem.Workspace.bytes_merged);
+    write_faults = ws_stat (fun s -> s.Vmem.Workspace.write_faults);
+    commits = ws_stat (fun s -> s.Vmem.Workspace.commits);
+    coarsened_chunks = rt.coarsened_chunks;
+    overflow_interrupts = rt.overflow_interrupts;
+    peak_mem_pages = rt.peak_mem;
+    versions = Vmem.Segment.versions_created seg;
+    mem_hash = Vmem.Segment.hash seg;
+    sync_order_hash = Sim.Trace.hash rt.sync_trace;
+    output_hash = Sim.Trace.hash rt.out_trace;
+    trace_events = Sim.Trace.length rt.sync_trace;
+    schedule =
+      List.map
+        (fun (e : Sim.Trace.event) -> (e.Sim.Trace.time, e.Sim.Trace.tid, e.Sim.Trace.label))
+        (Sim.Trace.events rt.sync_trace);
+  }

@@ -1,0 +1,42 @@
+(** The deterministic multithreading runtime.
+
+    One configurable engine implements DThreads, DWC, Consequence-RR and
+    Consequence-IC (see {!Config}); a {!Config.t} preset selects the
+    design point.  The runtime executes an {!Api.t} program on the
+    simulated machine:
+
+    - every thread runs in an isolated {!Vmem.Workspace} over one shared
+      versioned segment;
+    - all synchronization operations follow the paper's algorithms
+      (Figs 7–9): pause the logical clock, wait for the global token
+      (GMIC or round-robin order), perform the operation, commit and
+      update memory, release;
+    - local work advances the thread's retired-instruction counter, whose
+      published value lags actual progress until a simulated
+      counter-overflow interrupt or an end-of-chunk counter read;
+    - the optimizations of section 3 (adaptive coarsening, adaptive
+      overflow, user-space reads, fast-forward, parallel barrier commit,
+      thread-pool reuse) are applied according to the configuration.
+
+    The returned {!Stats.Run_result.t} carries both performance metrics
+    and the determinism witnesses. *)
+
+val run :
+  Config.t ->
+  ?costs:Cost_model.t ->
+  ?seed:int ->
+  ?nthreads:int ->
+  ?observer:Rt_event.observer ->
+  Api.t ->
+  Stats.Run_result.t
+(** [run cfg program] executes the program to completion.  [seed]
+    (default 1) perturbs modelled real-time nondeterminism only —
+    deterministic configurations produce the same witnesses for every
+    seed.  [nthreads] overrides the program's default worker count.
+    [observer] receives happens-before instrumentation events in global
+    order (used by the Fig 16 LRC study).
+
+    @raise Sim.Engine.Deadlock if the program deadlocks.
+    @raise Sim.Engine.Stuck if the program exceeds the event budget,
+    e.g. ad-hoc synchronization with no [chunk_limit] configured
+    (section 2.7). *)

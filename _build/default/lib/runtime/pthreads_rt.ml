@@ -1,0 +1,368 @@
+module Bd = Stats.Breakdown
+
+let name = "pthreads"
+
+type thread_state = {
+  tid : int;
+  tname : string;
+  bd : Bd.t;
+  prng : Sim.Prng.t;
+  mutable instr_retired : int;
+  mutable exited : bool;
+  mutable joiner : int option;
+  mutable lock_grant : bool;
+  mutable cond_grant : bool;
+  mutable join_grant : bool;
+}
+
+type mutex_rec = { mutable held_by : int option; waitq : int Queue.t }
+type cond_rec = { cond_waitq : int Queue.t }
+type barrier_rec = {
+  mutable parties : int;
+  mutable arrived_tids : int list;
+  mutable generation : int;
+}
+
+type t = {
+  costs : Cost_model.t;
+  eng : Sim.Engine.t;
+  mem : Bytes.t;
+  page_size : int;
+  touched : (int, unit) Hashtbl.t;
+  threads : (int, thread_state) Hashtbl.t;
+  mutexes : (int, mutex_rec) Hashtbl.t;
+  conds : (int, cond_rec) Hashtbl.t;
+  barriers : (int, barrier_rec) Hashtbl.t;
+  sync_trace : Sim.Trace.t;
+  out_trace : Sim.Trace.t;
+  mutable next_tid : int;
+  mutable sync_ops : int;
+}
+
+let thread rt tid = Hashtbl.find rt.threads tid
+
+let charge rt th cat ns =
+  if ns > 0 then begin
+    Bd.add th.bd cat ns;
+    Sim.Engine.advance rt.eng ns
+  end
+
+let record_sync rt th label =
+  rt.sync_ops <- rt.sync_ops + 1;
+  Sim.Trace.record rt.sync_trace ~time:(Sim.Engine.now rt.eng) ~tid:th.tid ~label
+
+let mutex_of rt id =
+  match Hashtbl.find_opt rt.mutexes id with
+  | Some m -> m
+  | None ->
+      let m = { held_by = None; waitq = Queue.create () } in
+      Hashtbl.replace rt.mutexes id m;
+      m
+
+let cond_of rt id =
+  match Hashtbl.find_opt rt.conds id with
+  | Some c -> c
+  | None ->
+      let c = { cond_waitq = Queue.create () } in
+      Hashtbl.replace rt.conds id c;
+      c
+
+let barrier_of rt id =
+  match Hashtbl.find_opt rt.barriers id with
+  | Some b -> b
+  | None ->
+      let b = { parties = 0; arrived_tids = []; generation = 0 } in
+      Hashtbl.replace rt.barriers id b;
+      b
+
+let work rt th n =
+  if n > 0 then begin
+    th.instr_retired <- th.instr_retired + n;
+    charge rt th Bd.Chunk (Cost_model.work_ns rt.costs th.prng n)
+  end
+
+let mem_instr rt len = max 1 (len / 8 * rt.costs.Cost_model.mem_op_instr_per_8bytes)
+
+let check_range rt ~addr ~len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length rt.mem then
+    invalid_arg (Printf.sprintf "pthreads: access [%d, %d) out of bounds" addr (addr + len))
+
+let touch rt ~addr ~len =
+  let first = addr / rt.page_size and last = (addr + len - 1) / rt.page_size in
+  for p = first to last do
+    Hashtbl.replace rt.touched p ()
+  done
+
+let read rt th ~addr ~len =
+  check_range rt ~addr ~len;
+  work rt th (mem_instr rt len);
+  Bytes.sub rt.mem addr len
+
+let write rt th ~addr buf =
+  let len = Bytes.length buf in
+  check_range rt ~addr ~len;
+  work rt th (mem_instr rt len);
+  if len > 0 then touch rt ~addr ~len;
+  Bytes.blit buf 0 rt.mem addr len
+
+let read_int rt th ~addr =
+  check_range rt ~addr ~len:8;
+  work rt th 1;
+  Int64.to_int (Bytes.get_int64_le rt.mem addr)
+
+let write_int rt th ~addr v =
+  check_range rt ~addr ~len:8;
+  work rt th 1;
+  touch rt ~addr ~len:8;
+  Bytes.set_int64_le rt.mem addr (Int64.of_int v)
+
+(* A hardware atomic: the fiber is not descheduled between the load and
+   the store, so the RMW is indivisible. *)
+let fetch_add rt th ~addr delta =
+  check_range rt ~addr ~len:8;
+  work rt th 10;
+  let v = Int64.to_int (Bytes.get_int64_le rt.mem addr) in
+  touch rt ~addr ~len:8;
+  Bytes.set_int64_le rt.mem addr (Int64.of_int (v + delta));
+  v
+
+let mutex_lock rt th mid =
+  let m = mutex_of rt mid in
+  charge rt th Bd.Library rt.costs.Cost_model.pthread_lock_ns;
+  if m.held_by = None then m.held_by <- Some th.tid
+  else begin
+    th.lock_grant <- false;
+    Queue.push th.tid m.waitq;
+    let t0 = Sim.Engine.now rt.eng in
+    while not th.lock_grant do
+      Sim.Engine.block rt.eng ~reason:(Printf.sprintf "lock:%d" mid)
+    done;
+    Bd.add th.bd Bd.Lock_wait (Sim.Engine.now rt.eng - t0);
+    m.held_by <- Some th.tid
+  end;
+  record_sync rt th (Printf.sprintf "lock:%d" mid)
+
+let mutex_unlock rt th mid =
+  let m = mutex_of rt mid in
+  if m.held_by <> Some th.tid then
+    invalid_arg (Printf.sprintf "unlock: thread %d does not hold mutex %d" th.tid mid);
+  charge rt th Bd.Library rt.costs.Cost_model.pthread_unlock_ns;
+  m.held_by <- None;
+  if not (Queue.is_empty m.waitq) then begin
+    let next = Queue.pop m.waitq in
+    (thread rt next).lock_grant <- true;
+    Sim.Engine.wakeup rt.eng next;
+    charge rt th Bd.Library rt.costs.Cost_model.wake_ns
+  end;
+  record_sync rt th (Printf.sprintf "unlock:%d" mid)
+
+let cond_wait rt th cid mid =
+  let c = cond_of rt cid in
+  charge rt th Bd.Library rt.costs.Cost_model.pthread_cond_ns;
+  record_sync rt th (Printf.sprintf "cond_wait:%d" cid);
+  (* Enqueue before releasing the mutex: wait+release must be atomic or a
+     signal between them is lost (the unlock yields the simulated CPU). *)
+  th.cond_grant <- false;
+  Queue.push th.tid c.cond_waitq;
+  mutex_unlock rt th mid;
+  let t0 = Sim.Engine.now rt.eng in
+  while not th.cond_grant do
+    Sim.Engine.block rt.eng ~reason:(Printf.sprintf "cond:%d" cid)
+  done;
+  Bd.add th.bd Bd.Lock_wait (Sim.Engine.now rt.eng - t0);
+  mutex_lock rt th mid
+
+let cond_signal rt th cid ~broadcast =
+  let c = cond_of rt cid in
+  charge rt th Bd.Library rt.costs.Cost_model.pthread_cond_ns;
+  let rec grant_one () =
+    if not (Queue.is_empty c.cond_waitq) then begin
+      let next = Queue.pop c.cond_waitq in
+      (thread rt next).cond_grant <- true;
+      Sim.Engine.wakeup rt.eng next;
+      charge rt th Bd.Library rt.costs.Cost_model.wake_ns;
+      if broadcast then grant_one ()
+    end
+  in
+  grant_one ();
+  record_sync rt th (Printf.sprintf "%s:%d" (if broadcast then "broadcast" else "signal") cid)
+
+let barrier_init _rt _th b parties =
+  if parties <= 0 then invalid_arg "barrier_init: parties must be > 0";
+  b.parties <- parties
+
+let barrier_wait rt th bid =
+  let b = barrier_of rt bid in
+  if b.parties = 0 then invalid_arg (Printf.sprintf "barrier %d: not initialized" bid);
+  charge rt th Bd.Library rt.costs.Cost_model.pthread_barrier_ns;
+  record_sync rt th (Printf.sprintf "barrier:%d" bid);
+  b.arrived_tids <- th.tid :: b.arrived_tids;
+  if List.length b.arrived_tids = b.parties then begin
+    let others = List.filter (fun tid -> tid <> th.tid) b.arrived_tids in
+    b.arrived_tids <- [];
+    b.generation <- b.generation + 1;
+    List.iter (fun tid -> Sim.Engine.wakeup rt.eng tid) others
+  end
+  else begin
+    let gen = b.generation in
+    let t0 = Sim.Engine.now rt.eng in
+    while b.generation = gen do
+      Sim.Engine.block rt.eng ~reason:(Printf.sprintf "barrier:%d" bid)
+    done;
+    Bd.add th.bd Bd.Barrier_wait (Sim.Engine.now rt.eng - t0)
+  end
+
+let rec make_ops rt th : Api.ops =
+  {
+    Api.tid = th.tid;
+    self_name = th.tname;
+    work = (fun n -> work rt th n);
+    read = (fun ~addr ~len -> read rt th ~addr ~len);
+    write = (fun ~addr buf -> write rt th ~addr buf);
+    read_int = (fun ~addr -> read_int rt th ~addr);
+    write_int = (fun ~addr v -> write_int rt th ~addr v);
+    fetch_add = (fun ~addr delta -> fetch_add rt th ~addr delta);
+    atomic_fetch_add = (fun ~addr delta -> fetch_add rt th ~addr delta);
+    lock = (fun m -> mutex_lock rt th m);
+    unlock = (fun m -> mutex_unlock rt th m);
+    cond_wait = (fun c m -> cond_wait rt th c m);
+    cond_signal = (fun c -> cond_signal rt th c ~broadcast:false);
+    cond_broadcast = (fun c -> cond_signal rt th c ~broadcast:true);
+    barrier_init = (fun bid parties -> barrier_init rt th (barrier_of rt bid) parties);
+    barrier_wait = (fun b -> barrier_wait rt th b);
+    spawn = (fun ?name body -> spawn_thread rt th ?name body);
+    join = (fun t -> join_thread rt th t);
+    log_output =
+      (fun msg -> Sim.Trace.record rt.out_trace ~time:(Sim.Engine.now rt.eng) ~tid:th.tid ~label:msg);
+    yield = (fun () -> Sim.Engine.advance rt.eng 0);
+  }
+
+and new_thread_state rt ~tid ~tname =
+  {
+    tid;
+    tname;
+    bd = Bd.create ();
+    prng = Sim.Prng.split (Sim.Engine.prng rt.eng);
+    instr_retired = 0;
+    exited = false;
+    joiner = None;
+    lock_grant = false;
+    cond_grant = false;
+    join_grant = false;
+  }
+
+and thread_exit rt th =
+  record_sync rt th "exit";
+  th.exited <- true;
+  match th.joiner with
+  | Some j ->
+      (thread rt j).join_grant <- true;
+      Sim.Engine.wakeup rt.eng j
+  | None -> ()
+
+and spawn_thread rt th ?name body =
+  charge rt th Bd.Fork rt.costs.Cost_model.pthread_spawn_ns;
+  let child_tid = rt.next_tid in
+  rt.next_tid <- child_tid + 1;
+  let tname = match name with Some n -> n | None -> Printf.sprintf "t%d" child_tid in
+  let child = new_thread_state rt ~tid:child_tid ~tname in
+  Hashtbl.replace rt.threads child_tid child;
+  let fiber_id =
+    Sim.Engine.spawn rt.eng ~name:tname (fun () ->
+        body (make_ops rt child);
+        thread_exit rt child)
+  in
+  assert (fiber_id = child_tid);
+  record_sync rt th (Printf.sprintf "spawn:%d" child_tid);
+  child_tid
+
+and join_thread rt th target_tid =
+  charge rt th Bd.Fork rt.costs.Cost_model.pthread_join_ns;
+  let target =
+    match Hashtbl.find_opt rt.threads target_tid with
+    | Some target -> target
+    | None -> invalid_arg (Printf.sprintf "join: unknown thread %d" target_tid)
+  in
+  if target.joiner <> None then invalid_arg (Printf.sprintf "join: thread %d already joined" target_tid);
+  if not target.exited then begin
+    target.joiner <- Some th.tid;
+    th.join_grant <- false;
+    let t0 = Sim.Engine.now rt.eng in
+    while not th.join_grant do
+      Sim.Engine.block rt.eng ~reason:(Printf.sprintf "join:%d" target_tid)
+    done;
+    Bd.add th.bd Bd.Lock_wait (Sim.Engine.now rt.eng - t0)
+  end;
+  record_sync rt th (Printf.sprintf "join:%d" target_tid)
+
+let run ?(costs = Cost_model.default) ?(seed = 1) ?nthreads (program : Api.t) =
+  let nthreads = match nthreads with Some n -> n | None -> program.Api.default_threads in
+  let eng = Sim.Engine.create ~seed () in
+  let rt =
+    {
+      costs;
+      eng;
+      mem = Bytes.make (program.Api.heap_pages * program.Api.page_size) '\000';
+      page_size = program.Api.page_size;
+      touched = Hashtbl.create 64;
+      threads = Hashtbl.create 64;
+      mutexes = Hashtbl.create 16;
+      conds = Hashtbl.create 16;
+      barriers = Hashtbl.create 16;
+      sync_trace = Sim.Trace.create ~capture:true ();
+      out_trace = Sim.Trace.create ~capture:true ();
+      next_tid = 1;
+      sync_ops = 0;
+    }
+  in
+  let main_state = new_thread_state rt ~tid:0 ~tname:"main" in
+  Hashtbl.replace rt.threads 0 main_state;
+  let fiber_id =
+    Sim.Engine.spawn eng ~name:"main" (fun () ->
+        program.Api.main ~nthreads (make_ops rt main_state);
+        thread_exit rt main_state)
+  in
+  assert (fiber_id = 0);
+  Sim.Engine.run eng;
+  let per_thread =
+    Hashtbl.fold
+      (fun _ th acc ->
+        {
+          Stats.Run_result.tid = th.tid;
+          thread_name = th.tname;
+          breakdown = th.bd;
+          instructions = th.instr_retired;
+        }
+        :: acc)
+      rt.threads []
+    |> List.sort (fun a b -> compare a.Stats.Run_result.tid b.Stats.Run_result.tid)
+  in
+  let mem_hash = Sim.Fnv.to_hex (Sim.Fnv.bytes Sim.Fnv.init rt.mem) in
+  {
+    Stats.Run_result.program = program.Api.name;
+    runtime = name;
+    nthreads;
+    seed;
+    wall_ns = Sim.Engine.now eng;
+    per_thread;
+    sync_ops = rt.sync_ops;
+    token_acquisitions = 0;
+    pages_propagated = 0;
+    pages_committed = 0;
+    pages_merged = 0;
+    bytes_merged = 0;
+    write_faults = 0;
+    commits = 0;
+    coarsened_chunks = 0;
+    overflow_interrupts = 0;
+    peak_mem_pages = Hashtbl.length rt.touched;
+    versions = 0;
+    mem_hash;
+    sync_order_hash = Sim.Trace.hash rt.sync_trace;
+    output_hash = Sim.Trace.hash rt.out_trace;
+    trace_events = Sim.Trace.length rt.sync_trace;
+    schedule =
+      List.map
+        (fun (e : Sim.Trace.event) -> (e.Sim.Trace.time, e.Sim.Trace.tid, e.Sim.Trace.label))
+        (Sim.Trace.events rt.sync_trace);
+  }

@@ -1,0 +1,16 @@
+(** The nondeterministic pthreads baseline.
+
+    Threads share one flat memory image; loads and stores apply
+    immediately at their simulated time, so data races resolve by
+    arrival order — which depends on the jittered execution latencies
+    and therefore on the seed.  Lock acquisition is first-come
+    first-served on real arrival time.  This is the normalization
+    baseline of every figure, and the foil for the determinism tests:
+    its witnesses are {e expected} to vary across seeds for racy
+    programs. *)
+
+val run :
+  ?costs:Cost_model.t -> ?seed:int -> ?nthreads:int -> Api.t -> Stats.Run_result.t
+
+val name : string
+(** ["pthreads"]. *)

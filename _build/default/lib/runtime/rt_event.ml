@@ -1,0 +1,11 @@
+type t =
+  | Commit of { tid : int; version : int; pages : int list }
+  | Release of { tid : int; obj : string }
+  | Acquire of { tid : int; obj : string }
+
+type observer = t -> unit
+
+let obj_mutex m = Printf.sprintf "m:%d" m
+let obj_cond c = Printf.sprintf "c:%d" c
+let obj_barrier b = Printf.sprintf "b:%d" b
+let obj_thread t = Printf.sprintf "t:%d" t

@@ -1,0 +1,27 @@
+(** Happens-before instrumentation events.
+
+    The deterministic runtime can report each commit, release and acquire
+    to an observer as it executes; the [hb] library replays these with
+    vector clocks to estimate what an LRC-based consistency model would
+    have propagated (paper section 5.3 / Fig 16).
+
+    Objects are identified by strings: ["m:3"] (mutex), ["c:1"]
+    (condition variable), ["b:0"] (barrier), ["t:5"] (thread start/exit
+    edge).  Events are emitted in the global total (token) order. *)
+
+type t =
+  | Commit of { tid : int; version : int; pages : int list }
+      (** the thread published these pages as the given version *)
+  | Release of { tid : int; obj : string }
+      (** release edge source: unlock, barrier arrival, cond signal,
+          thread spawn (parent side), thread exit *)
+  | Acquire of { tid : int; obj : string }
+      (** acquire edge sink: lock, barrier departure, cond wake,
+          thread start (child side), join *)
+
+type observer = t -> unit
+
+val obj_mutex : int -> string
+val obj_cond : int -> string
+val obj_barrier : int -> string
+val obj_thread : int -> string

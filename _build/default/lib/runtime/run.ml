@@ -1,0 +1,30 @@
+type runtime = Pthreads | Det of Config.t
+
+let name = function Pthreads -> Pthreads_rt.name | Det cfg -> cfg.Config.name
+
+let pthreads = Pthreads
+let dthreads = Det Config.dthreads
+let dwc = Det Config.dwc
+let consequence_rr = Det Config.consequence_rr
+let consequence_ic = Det Config.consequence_ic
+let all = [ pthreads; dthreads; dwc; consequence_rr; consequence_ic ]
+
+let deterministic = function
+  | Pthreads -> false
+  | Det cfg -> cfg.Config.counter_jitter_ppm = 0
+
+let run rt ?costs ?seed ?nthreads program =
+  match rt with
+  | Pthreads -> Pthreads_rt.run ?costs ?seed ?nthreads program
+  | Det cfg -> Det_rt.run cfg ?costs ?seed ?nthreads program
+
+let best_over_threads rt ?costs ?seed ~threads program =
+  match threads with
+  | [] -> invalid_arg "Run.best_over_threads: empty thread list"
+  | first :: rest ->
+      List.fold_left
+        (fun best n ->
+          let r = run rt ?costs ?seed ~nthreads:n program in
+          if r.Stats.Run_result.wall_ns < best.Stats.Run_result.wall_ns then r else best)
+        (run rt ?costs ?seed ~nthreads:first program)
+        rest

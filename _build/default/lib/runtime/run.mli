@@ -1,0 +1,38 @@
+(** Uniform entry point over all five threading libraries of the
+    evaluation (section 5). *)
+
+type runtime = Pthreads | Det of Config.t
+
+val name : runtime -> string
+
+val pthreads : runtime
+val dthreads : runtime
+val dwc : runtime
+val consequence_rr : runtime
+val consequence_ic : runtime
+
+val all : runtime list
+(** pthreads + the four deterministic libraries, in Fig 10 display order. *)
+
+val deterministic : runtime -> bool
+(** Whether the runtime guarantees determinism (i.e. everything except
+    [Pthreads] — assuming exact performance counters). *)
+
+val run :
+  runtime ->
+  ?costs:Cost_model.t ->
+  ?seed:int ->
+  ?nthreads:int ->
+  Api.t ->
+  Stats.Run_result.t
+
+val best_over_threads :
+  runtime ->
+  ?costs:Cost_model.t ->
+  ?seed:int ->
+  threads:int list ->
+  Api.t ->
+  Stats.Run_result.t
+(** Run at each thread count and keep the fastest result — the
+    methodology of Fig 10 ("measured using 2-32 threads, and retained the
+    corresponding best result"). *)

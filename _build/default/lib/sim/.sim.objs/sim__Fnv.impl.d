@@ -1,0 +1,1 @@
+lib/sim/fnv.ml: Bytes Char Int64 Printf

@@ -1,0 +1,178 @@
+open Effect
+open Effect.Deep
+
+type tid = int
+
+exception Deadlock of string
+exception Stuck of string
+
+(* Raised inside a fiber to unwind it; caught by the fiber wrapper. *)
+exception Fiber_exit
+
+type _ Effect.t += Advance : int -> unit Effect.t
+type _ Effect.t += Block : string -> unit Effect.t
+
+type fiber_state =
+  | Ready (* an event in the queue will resume it *)
+  | Running
+  | Blocked of (unit, unit) continuation * string
+  | Finished
+
+type fiber = {
+  id : tid;
+  name : string;
+  mutable state : fiber_state;
+  mutable pending_wakeup : bool;
+}
+
+type t = {
+  fibers : (tid, fiber) Hashtbl.t;
+  queue : (unit -> unit) Heap.t;
+  mutable now : int;
+  mutable current : tid;
+  mutable next_id : tid;
+  mutable events : int;
+  max_events : int;
+  master_prng : Prng.t;
+}
+
+let create ?(max_events = 50_000_000) ~seed () =
+  {
+    fibers = Hashtbl.create 64;
+    queue = Heap.create ();
+    now = 0;
+    current = -1;
+    next_id = 0;
+    events = 0;
+    max_events;
+    master_prng = Prng.create ~seed;
+  }
+
+let prng t = t.master_prng
+let now t = t.now
+let fiber_count t = t.next_id
+
+let fiber_of t id =
+  match Hashtbl.find_opt t.fibers id with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Engine: unknown fiber %d" id)
+
+let name_of t id = (fiber_of t id).name
+
+let schedule_resume t fiber k =
+  fiber.state <- Ready;
+  Heap.push t.queue ~key:t.now (fun () ->
+      fiber.state <- Running;
+      t.current <- fiber.id;
+      continue k ())
+
+let run_fiber t fiber body =
+  match_with
+    (fun () -> (try body () with Fiber_exit -> ()))
+    ()
+    {
+      retc = (fun () -> fiber.state <- Finished);
+      exnc =
+        (fun e ->
+          fiber.state <- Finished;
+          raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Advance ns ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  fiber.state <- Ready;
+                  Heap.push t.queue ~key:(t.now + ns) (fun () ->
+                      fiber.state <- Running;
+                      t.current <- fiber.id;
+                      continue k ()))
+          | Block reason ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if fiber.pending_wakeup then begin
+                    (* A wakeup arrived before we blocked: consume the
+                       permit and resume at the current instant. *)
+                    fiber.pending_wakeup <- false;
+                    schedule_resume t fiber k
+                  end
+                  else fiber.state <- Blocked (k, reason))
+          | _ -> None);
+    }
+
+let spawn t ?name body =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let name = match name with Some n -> n | None -> Printf.sprintf "fiber-%d" id in
+  let fiber = { id; name; state = Ready; pending_wakeup = false } in
+  Hashtbl.replace t.fibers id fiber;
+  Heap.push t.queue ~key:t.now (fun () ->
+      fiber.state <- Running;
+      t.current <- id;
+      run_fiber t fiber body);
+  id
+
+let wakeup t id =
+  let fiber = fiber_of t id in
+  match fiber.state with
+  | Blocked (k, _) -> schedule_resume t fiber k
+  | Finished -> ()
+  | Ready | Running -> fiber.pending_wakeup <- true
+
+let blocked_reason t id =
+  match (fiber_of t id).state with
+  | Blocked (_, reason) -> Some reason
+  | Ready | Running | Finished -> None
+
+let is_finished t id = (fiber_of t id).state = Finished
+
+let self t =
+  if t.current < 0 then invalid_arg "Engine.self: no fiber is running";
+  t.current
+
+let advance t ns =
+  ignore t;
+  if ns < 0 then invalid_arg "Engine.advance: negative duration";
+  perform (Advance ns)
+
+let block t ~reason =
+  ignore t;
+  perform (Block reason)
+
+let exit_fiber _t = raise Fiber_exit
+
+let stuck_fibers t =
+  Hashtbl.fold
+    (fun _ fiber acc ->
+      match fiber.state with
+      | Blocked (_, reason) -> (fiber.name, reason) :: acc
+      | Ready | Running | Finished -> acc)
+    t.fibers []
+
+let run t =
+  let rec loop () =
+    if t.events >= t.max_events then
+      raise
+        (Stuck
+           (Printf.sprintf "event budget (%d) exhausted at t=%dns" t.max_events
+              t.now));
+    match Heap.pop t.queue with
+    | None ->
+        let stuck = stuck_fibers t in
+        if stuck <> [] then
+          let detail =
+            stuck
+            |> List.sort compare
+            |> List.map (fun (name, reason) -> Printf.sprintf "%s (%s)" name reason)
+            |> String.concat ", "
+          in
+          raise (Deadlock detail)
+    | Some (time, thunk) ->
+        (* Simulated time is monotone: an event can never run before an
+           already-dispatched one. *)
+        if time > t.now then t.now <- time;
+        t.events <- t.events + 1;
+        thunk ();
+        loop ()
+  in
+  loop ()

@@ -1,0 +1,26 @@
+type t = int64
+
+let init = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let byte h b =
+  let h = Int64.logxor h (Int64.of_int (b land 0xff)) in
+  Int64.mul h prime
+
+let bytes h buf =
+  let acc = ref h in
+  for i = 0 to Bytes.length buf - 1 do
+    acc := byte !acc (Char.code (Bytes.unsafe_get buf i))
+  done;
+  !acc
+
+let string h s = bytes h (Bytes.unsafe_of_string s)
+
+let int h n =
+  let acc = ref h in
+  for shift = 0 to 7 do
+    acc := byte !acc ((n lsr (shift * 8)) land 0xff)
+  done;
+  !acc
+
+let to_hex h = Printf.sprintf "%016Lx" h

@@ -1,0 +1,76 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+(* Grow the backing array, using [fill] as the dummy for unused slots. *)
+let grow t fill =
+  let cap = Array.length t.data in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  let fresh = Array.make new_cap fill in
+  Array.blit t.data 0 fresh 0 t.size;
+  t.data <- fresh
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~key value =
+  let entry = { key; seq = t.next_seq; value } in
+  if t.size = Array.length t.data then grow t entry;
+  t.next_seq <- t.next_seq + 1;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.data.(0).key
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0
+
+let to_list t =
+  let entries = Array.sub t.data 0 t.size in
+  Array.sort (fun a b -> if less a b then -1 else if less b a then 1 else 0) entries;
+  Array.to_list (Array.map (fun e -> (e.key, e.value)) entries)

@@ -1,0 +1,31 @@
+(** Binary min-heap used as the simulator's event queue.
+
+    Entries are ordered by a primary integer key (simulated time) with a
+    strictly increasing sequence number as tie-breaker, so two events
+    scheduled for the same instant pop in insertion order.  This total
+    order is what makes the simulator deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> 'a -> unit
+(** [push t ~key v] inserts [v] with priority [key].  Insertion order among
+    equal keys is preserved on [pop]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum entry as [(key, value)], or [None] when
+    empty. *)
+
+val peek_key : 'a t -> int option
+(** Key of the minimum entry without removing it. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (int * 'a) list
+(** Snapshot of current contents in pop order; O(n log n), for tests and
+    debugging only (the heap is unchanged). *)

@@ -1,0 +1,23 @@
+type event = { time : int; tid : int; label : string }
+
+type t = {
+  capture : bool;
+  mutable events_rev : event list;
+  mutable count : int;
+  mutable h : Fnv.t;
+  mutable timed_h : Fnv.t;
+}
+
+let create ?(capture = true) () =
+  { capture; events_rev = []; count = 0; h = Fnv.init; timed_h = Fnv.init }
+
+let record t ~time ~tid ~label =
+  if t.capture then t.events_rev <- { time; tid; label } :: t.events_rev;
+  t.count <- t.count + 1;
+  t.h <- Fnv.string (Fnv.int t.h tid) label;
+  t.timed_h <- Fnv.string (Fnv.int (Fnv.int t.timed_h time) tid) label
+
+let length t = t.count
+let events t = List.rev t.events_rev
+let hash t = Fnv.to_hex t.h
+let timed_hash t = Fnv.to_hex t.timed_h

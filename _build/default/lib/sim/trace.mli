@@ -1,0 +1,31 @@
+(** Append-only event trace.
+
+    Runtimes record their externally observable events here (sync-operation
+    order, commit order, values read).  A trace supports both full capture
+    (for debugging and the TSO checker) and streaming hashing (for cheap
+    determinism witnesses over long runs). *)
+
+type t
+
+type event = { time : int; tid : int; label : string }
+
+val create : ?capture:bool -> unit -> t
+(** [capture] (default true) controls whether events are retained in full;
+    hashing happens regardless. *)
+
+val record : t -> time:int -> tid:int -> label:string -> unit
+
+val length : t -> int
+(** Number of events recorded (counted even when capture is off). *)
+
+val events : t -> event list
+(** Events in recording order.  Empty if capture was disabled. *)
+
+val hash : t -> string
+(** Hex digest over (tid, label) pairs in order.  Timestamps are excluded:
+    determinism concerns the order and content of events, not wall-clock
+    performance, which legitimately varies (paper section 3). *)
+
+val timed_hash : t -> string
+(** Hex digest that also folds timestamps in; equal [timed_hash]es mean two
+    runs were cycle-identical, which is expected only for equal seeds. *)

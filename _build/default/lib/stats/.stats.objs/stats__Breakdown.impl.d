@@ -1,0 +1,1 @@
+lib/stats/breakdown.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/stats/run_result.ml: Breakdown Format List Printf

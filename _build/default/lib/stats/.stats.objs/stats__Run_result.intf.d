@@ -1,0 +1,1 @@
+lib/stats/run_result.mli: Breakdown Format

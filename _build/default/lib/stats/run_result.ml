@@ -1,0 +1,55 @@
+type thread_stat = {
+  tid : int;
+  thread_name : string;
+  breakdown : Breakdown.t;
+  instructions : int;
+}
+
+type t = {
+  program : string;
+  runtime : string;
+  nthreads : int;
+  seed : int;
+  wall_ns : int;
+  per_thread : thread_stat list;
+  sync_ops : int;
+  token_acquisitions : int;
+  pages_propagated : int;
+  pages_committed : int;
+  pages_merged : int;
+  bytes_merged : int;
+  write_faults : int;
+  commits : int;
+  coarsened_chunks : int;
+  overflow_interrupts : int;
+  peak_mem_pages : int;
+  versions : int;
+  mem_hash : string;
+  sync_order_hash : string;
+  output_hash : string;
+  trace_events : int;
+  schedule : (int * int * string) list;
+}
+
+let aggregate_breakdown t =
+  List.fold_left (fun acc ts -> Breakdown.merge acc ts.breakdown) (Breakdown.create ())
+    t.per_thread
+
+let deterministic_witness t =
+  Printf.sprintf "mem:%s|sync:%s|out:%s" t.mem_hash t.sync_order_hash t.output_hash
+
+let pp_summary fmt t =
+  Format.fprintf fmt
+    "@[<v>%s / %s: %d threads, seed %d@,\
+     wall            %d ns@,\
+     sync ops        %d@,\
+     token acqs      %d@,\
+     commits         %d (%d pages, %d merged, %d bytes)@,\
+     faults          %d@,\
+     pages propagated %d@,\
+     peak memory     %d pages@,\
+     versions        %d@,\
+     witness         %s@]"
+    t.program t.runtime t.nthreads t.seed t.wall_ns t.sync_ops t.token_acquisitions t.commits
+    t.pages_committed t.pages_merged t.bytes_merged t.write_faults t.pages_propagated
+    t.peak_mem_pages t.versions (deterministic_witness t)

@@ -1,0 +1,41 @@
+type t = { columns : string list; mutable rows : string list list }
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns" (List.length row)
+         (List.length t.columns));
+  t.rows <- row :: t.rows
+
+let row_count t = List.length t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 256 in
+  let render_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        (* Pad all but the last column. *)
+        if i < ncols - 1 then Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.columns;
+  let rule_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  Buffer.add_string buf (String.make rule_width '-');
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let cell_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+let cell_ratio f = Printf.sprintf "%.2fx" f

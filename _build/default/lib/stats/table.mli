@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, monospace tables like the rows the paper's figures
+    report, without any plotting dependency. *)
+
+type t
+
+val create : columns:string list -> t
+val add_row : t -> string list -> unit
+(** Row length must match the column count. *)
+
+val row_count : t -> int
+
+val render : t -> string
+(** Aligned table with a header rule. *)
+
+val cell_float : ?decimals:int -> float -> string
+val cell_ratio : float -> string
+(** Formats a slowdown/speedup ratio like ["3.90x"]. *)

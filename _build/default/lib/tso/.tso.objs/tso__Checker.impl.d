@@ -1,0 +1,1 @@
+lib/tso/checker.ml: Api Format List Litmus Model Printf Runtime

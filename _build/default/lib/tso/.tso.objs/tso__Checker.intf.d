@@ -1,0 +1,1 @@
+lib/tso/checker.mli: Api Format Litmus Model Runtime

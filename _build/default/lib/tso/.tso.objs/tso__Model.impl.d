@@ -1,0 +1,1 @@
+lib/tso/model.ml: Format Hashtbl List Litmus Set

@@ -1,0 +1,1 @@
+lib/tso/model.mli: Format Litmus Set

@@ -1,0 +1,96 @@
+type var = string
+type reg = string
+
+type instr = Store of var * int | Load of var * reg | Fence | Delay of int
+
+type t = {
+  name : string;
+  description : string;
+  threads : instr list list;
+}
+
+let registers t =
+  List.concat_map
+    (List.filter_map (function Load (_, r) -> Some r | Store _ | Fence | Delay _ -> None))
+    t.threads
+  |> List.sort_uniq compare
+
+let vars t =
+  List.concat_map
+    (List.filter_map (function
+      | Store (v, _) | Load (v, _) -> Some v
+      | Fence | Delay _ -> None))
+    t.threads
+  |> List.sort_uniq compare
+
+let sb =
+  {
+    name = "SB";
+    description = "store buffering: r0=0 && r1=0 allowed under TSO, forbidden under SC";
+    threads =
+      [ [ Store ("x", 1); Load ("y", "r0") ]; [ Store ("y", 1); Load ("x", "r1") ] ];
+  }
+
+let mp =
+  {
+    name = "MP+fences";
+    description = "message passing with fences: r1=1 => r2=1";
+    threads =
+      [
+        [ Store ("data", 1); Fence; Store ("flag", 1); Fence ];
+        [ Load ("flag", "r1"); Load ("data", "r2") ];
+      ];
+  }
+
+let mp_unfenced =
+  {
+    name = "MP";
+    description = "message passing, no fences: under TSO stores are still ordered";
+    threads =
+      [
+        [ Store ("data", 1); Store ("flag", 1) ];
+        [ Load ("flag", "r1"); Load ("data", "r2") ];
+      ];
+  }
+
+let lb =
+  {
+    name = "LB";
+    description = "load buffering: r0=1 && r1=1 forbidden under TSO (no load reordering)";
+    threads =
+      [ [ Load ("x", "r0"); Store ("y", 1) ]; [ Load ("y", "r1"); Store ("x", 1) ] ];
+  }
+
+let corr =
+  {
+    name = "CoRR";
+    description = "read-read coherence: consecutive reads of x may not go backwards";
+    threads =
+      [ [ Store ("x", 1) ]; [ Load ("x", "r0"); Load ("x", "r1") ] ];
+  }
+
+let iriw =
+  {
+    name = "IRIW";
+    description = "independent readers must agree on the order of independent writes";
+    threads =
+      [
+        [ Store ("x", 1) ];
+        [ Store ("y", 1) ];
+        [ Load ("x", "r0"); Load ("y", "r1") ];
+        [ Load ("y", "r2"); Load ("x", "r3") ];
+      ];
+  }
+
+let n7 =
+  {
+    name = "n7";
+    description = "a thread reads its own buffered store early";
+    threads =
+      [
+        [ Store ("x", 1); Load ("x", "r0"); Load ("y", "r1") ];
+        [ Store ("y", 1); Load ("y", "r2"); Load ("x", "r3") ];
+      ];
+  }
+
+let all = [ sb; mp; mp_unfenced; lb; corr; iriw; n7 ]

@@ -1,0 +1,63 @@
+(** Litmus tests: tiny multi-threaded programs whose sets of permitted
+    final register values characterize a memory consistency model.
+
+    The paper's claim (section 2.3) is that Consequence implements TSO:
+    stores become visible in a single total order all threads agree on,
+    but a thread may read its own buffered stores early.  We check this
+    claim mechanically: {!Model} enumerates the outcomes an operational
+    TSO (and, for contrast, SC) machine can produce, and the runner in
+    {!Checker} executes the same litmus program on any of this
+    repository's runtimes and verifies the observed outcomes fall inside
+    the allowed set. *)
+
+type var = string
+(** Shared memory location (mapped to a heap address by the runner). *)
+
+type reg = string
+(** Per-thread observation register, conventionally ["r0"], ["r1"], ... *)
+
+type instr =
+  | Store of var * int
+  | Load of var * reg
+  | Fence  (** drains the store buffer: on the real runtimes, a commit+update *)
+  | Delay of int  (** retire n instructions (schedule perturbation only) *)
+
+type t = {
+  name : string;
+  description : string;
+  threads : instr list list;
+}
+
+val registers : t -> reg list
+(** All registers loaded into, sorted. *)
+
+val vars : t -> var list
+
+(** {1 Classic tests} *)
+
+val sb : t
+(** Store buffering: TSO allows both loads to see 0; SC forbids it. *)
+
+val mp : t
+(** Message passing with fences: the flag read implies the data read. *)
+
+val mp_unfenced : t
+(** Message passing without fences. *)
+
+val lb : t
+(** Load buffering: both-loads-see-1 is forbidden under TSO (loads are
+    not reordered). *)
+
+val corr : t
+(** Coherence of read-read: two reads of one location by the same thread
+    may not observe values in an order contradicting the store order. *)
+
+val iriw : t
+(** Independent reads of independent writes: under TSO the two readers
+    must agree on the store order. *)
+
+val n7 : t
+(** A thread reads its own buffered store early (allowed) while another
+    still sees the old value. *)
+
+val all : t list

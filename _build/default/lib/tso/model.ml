@@ -1,0 +1,117 @@
+type outcome = (Litmus.reg * int) list
+
+module Outcome_set = Set.Make (struct
+  type t = outcome
+
+  let compare = compare
+end)
+
+(* Machine state.  All components use canonical (sorted) representations
+   so structural equality identifies equivalent states for memoization. *)
+type thread_state = {
+  todo : Litmus.instr list;
+  buffer : (Litmus.var * int) list; (* oldest first *)
+  regs : (Litmus.reg * int) list; (* sorted by register *)
+}
+
+type state = { mem : (Litmus.var * int) list; threads : thread_state list }
+
+let mem_read mem v = match List.assoc_opt v mem with Some n -> n | None -> 0
+
+let mem_write mem v n = (v, n) :: List.remove_assoc v mem |> List.sort compare
+
+let reg_write regs r n = (r, n) :: List.remove_assoc r regs |> List.sort compare
+
+(* Newest buffered value for [v], if any (store forwarding). *)
+let buffer_read buffer v =
+  List.fold_left (fun acc (bv, bn) -> if bv = v then Some bn else acc) None buffer
+
+let enumerate ~buffered (test : Litmus.t) =
+  let init =
+    {
+      mem = [];
+      threads = List.map (fun todo -> { todo; buffer = []; regs = [] }) test.Litmus.threads;
+    }
+  in
+  let seen = Hashtbl.create 4096 in
+  let outcomes = ref Outcome_set.empty in
+  let rec explore st =
+    if not (Hashtbl.mem seen st) then begin
+      Hashtbl.replace seen st ();
+      let terminal =
+        List.for_all (fun th -> th.todo = [] && th.buffer = []) st.threads
+      in
+      if terminal then begin
+        let outcome =
+          List.concat_map (fun th -> th.regs) st.threads |> List.sort compare
+        in
+        outcomes := Outcome_set.add outcome !outcomes
+      end
+      else
+        List.iteri
+          (fun i th ->
+            let replace_thread th' =
+              { st with threads = List.mapi (fun j t -> if j = i then th' else t) st.threads }
+            in
+            (* Option 1: drain the oldest buffered store. *)
+            (match th.buffer with
+            | (v, n) :: rest ->
+                explore
+                  {
+                    mem = mem_write st.mem v n;
+                    threads =
+                      List.mapi
+                        (fun j t -> if j = i then { t with buffer = rest } else t)
+                        st.threads;
+                  }
+            | [] -> ());
+            (* Option 2: execute the next instruction. *)
+            match th.todo with
+            | [] -> ()
+            | instr :: rest -> (
+                match instr with
+                | Litmus.Delay _ -> explore (replace_thread { th with todo = rest })
+                | Litmus.Store (v, n) ->
+                    if buffered then
+                      explore (replace_thread { th with todo = rest; buffer = th.buffer @ [ (v, n) ] })
+                    else
+                      explore
+                        {
+                          mem = mem_write st.mem v n;
+                          threads =
+                            List.mapi
+                              (fun j t -> if j = i then { t with todo = rest } else t)
+                              st.threads;
+                        }
+                | Litmus.Load (v, r) ->
+                    let value =
+                      match buffer_read th.buffer v with
+                      | Some n -> n
+                      | None -> mem_read st.mem v
+                    in
+                    explore (replace_thread { th with todo = rest; regs = reg_write th.regs r value })
+                | Litmus.Fence ->
+                    (* Enabled only once the buffer has drained. *)
+                    if th.buffer = [] then explore (replace_thread { th with todo = rest })))
+          st.threads
+    end
+  in
+  explore init;
+  !outcomes
+
+let tso_outcomes test = enumerate ~buffered:true test
+let sc_outcomes test = enumerate ~buffered:false test
+
+let pp_outcome fmt outcome =
+  Format.fprintf fmt "{";
+  List.iteri
+    (fun i (r, n) ->
+      if i > 0 then Format.fprintf fmt "; ";
+      Format.fprintf fmt "%s=%d" r n)
+    outcome;
+  Format.fprintf fmt "}"
+
+let pp_set fmt set =
+  Format.fprintf fmt "@[<v>";
+  Outcome_set.iter (fun o -> Format.fprintf fmt "%a@," pp_outcome o) set;
+  Format.fprintf fmt "@]"

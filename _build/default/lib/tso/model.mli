@@ -1,0 +1,26 @@
+(** Operational memory-model reference: exhaustive outcome enumeration.
+
+    The TSO machine gives every thread a FIFO store buffer; at any step a
+    thread may execute its next instruction (loads snoop the own buffer
+    first — store forwarding; fences require an empty buffer) or drain
+    its oldest buffered store to memory.  The SC machine is the same
+    without buffers.  Exhaustive interleaving via depth-first search with
+    state memoization yields the exact set of permitted final register
+    assignments for a litmus test.
+
+    These sets are ground truth for the checker: a runtime claiming TSO
+    may only ever produce outcomes in [tso_outcomes]; a runtime claiming
+    sequential consistency only outcomes in [sc_outcomes] (which is
+    always a subset). *)
+
+type outcome = (Litmus.reg * int) list
+(** Final register values, sorted by register name.  Registers never
+    loaded are absent. *)
+
+module Outcome_set : Set.S with type elt = outcome
+
+val tso_outcomes : Litmus.t -> Outcome_set.t
+val sc_outcomes : Litmus.t -> Outcome_set.t
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_set : Format.formatter -> Outcome_set.t -> unit

@@ -1,0 +1,1 @@
+lib/vmem/page.ml: Bytes Printf Sim

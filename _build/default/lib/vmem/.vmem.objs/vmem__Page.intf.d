@@ -1,0 +1,1 @@
+lib/vmem/page.mli: Bytes Sim

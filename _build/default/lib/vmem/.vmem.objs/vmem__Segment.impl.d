@@ -1,0 +1,1 @@
+lib/vmem/segment.ml: Array Bytes Hashtbl List Page Printf Sim

@@ -1,0 +1,1 @@
+lib/vmem/workspace.ml: Bytes Hashtbl Int64 List Page Printf Segment

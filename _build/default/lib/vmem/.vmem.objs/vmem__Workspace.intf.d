@@ -1,0 +1,1 @@
+lib/vmem/workspace.mli: Bytes Segment

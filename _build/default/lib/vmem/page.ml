@@ -1,0 +1,32 @@
+type t = Bytes.t
+
+let create ~size = Bytes.make size '\000'
+let copy = Bytes.copy
+let equal = Bytes.equal
+
+let check_lengths a b name =
+  if Bytes.length a <> Bytes.length b then
+    invalid_arg (Printf.sprintf "Page.%s: length mismatch (%d vs %d)" name (Bytes.length a) (Bytes.length b))
+
+let diff_count ~twin ~local =
+  check_lengths twin local "diff_count";
+  let n = ref 0 in
+  for i = 0 to Bytes.length twin - 1 do
+    if Bytes.unsafe_get twin i <> Bytes.unsafe_get local i then incr n
+  done;
+  !n
+
+let merge_into ~twin ~local ~target =
+  check_lengths twin local "merge_into";
+  check_lengths twin target "merge_into";
+  let n = ref 0 in
+  for i = 0 to Bytes.length twin - 1 do
+    let b = Bytes.unsafe_get local i in
+    if Bytes.unsafe_get twin i <> b then begin
+      Bytes.unsafe_set target i b;
+      incr n
+    end
+  done;
+  !n
+
+let hash_into h page = Sim.Fnv.bytes h page

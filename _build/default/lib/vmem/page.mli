@@ -1,0 +1,31 @@
+(** Fixed-size memory pages and byte-granularity merging.
+
+    A page is a mutable byte buffer.  Conversion (paper section 2.5,
+    reference [23]) resolves page-level write conflicts by comparing a
+    thread's dirty page against a {e twin} — the pristine copy taken when
+    the thread first wrote the page in the current chunk — and applying
+    only the bytes the thread actually changed onto the most recently
+    committed copy.  This gives byte-granularity last-writer-wins
+    semantics (paper section 2.4/2.5). *)
+
+type t = Bytes.t
+
+val create : size:int -> t
+(** Zero-filled page. *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+
+val diff_count : twin:t -> local:t -> int
+(** Number of bytes the local copy changed relative to its twin. *)
+
+val merge_into : twin:t -> local:t -> target:t -> int
+(** Apply the thread's modifications (bytes where [local] differs from
+    [twin]) onto [target], in place.  Returns the number of bytes written.
+    All three pages must have equal length.  This is the last-writer-wins
+    byte merge: bytes the thread did not touch keep [target]'s (i.e. the
+    latest committed) value. *)
+
+val hash_into : Sim.Fnv.t -> t -> Sim.Fnv.t
+(** Fold the page contents into a determinism-witness hash. *)

@@ -1,0 +1,156 @@
+type version = int
+
+type entry = { committer : int; page_idxs : int array }
+
+type t = {
+  name : string;
+  page_size : int;
+  npages : int;
+  (* Per-page snapshot history, newest first.  Every history implicitly
+     ends with the shared zero page at version 0. *)
+  histories : (version * Page.t) list array;
+  last_mod_arr : int array;
+  versions : entry Sim.Vec.t; (* index i holds version i+1 *)
+  zero : Page.t;
+  mutable live : int;
+  mutable gc_cursor : int;
+}
+
+let create ?(name = "segment") ~pages ~page_size () =
+  if pages <= 0 then invalid_arg "Segment.create: pages must be > 0";
+  if page_size <= 0 then invalid_arg "Segment.create: page_size must be > 0";
+  {
+    name;
+    page_size;
+    npages = pages;
+    histories = Array.make pages [];
+    last_mod_arr = Array.make pages 0;
+    versions = Sim.Vec.create ();
+    zero = Page.create ~size:page_size;
+    live = 0;
+    gc_cursor = 0;
+  }
+
+let name t = t.name
+let page_count t = t.npages
+let page_size t = t.page_size
+let current_version t = Sim.Vec.length t.versions
+
+let check_page t i =
+  if i < 0 || i >= t.npages then
+    invalid_arg (Printf.sprintf "Segment %s: page %d out of bounds (%d pages)" t.name i t.npages)
+
+let read_page t ~version i =
+  check_page t i;
+  let rec find = function
+    | [] -> t.zero
+    | (v, page) :: rest -> if v <= version then page else find rest
+  in
+  find t.histories.(i)
+
+let last_mod t i =
+  check_page t i;
+  t.last_mod_arr.(i)
+
+let commit t ~committer ~pages =
+  let vnum = current_version t + 1 in
+  let idxs = Array.of_list (List.map fst pages) in
+  let seen = Hashtbl.create (Array.length idxs) in
+  Array.iter
+    (fun i ->
+      check_page t i;
+      if Hashtbl.mem seen i then
+        invalid_arg (Printf.sprintf "Segment %s: duplicate page %d in commit" t.name i);
+      Hashtbl.replace seen i ())
+    idxs;
+  List.iter
+    (fun (i, page) ->
+      if Bytes.length page <> t.page_size then
+        invalid_arg (Printf.sprintf "Segment %s: bad page size in commit" t.name);
+      t.histories.(i) <- (vnum, page) :: t.histories.(i);
+      t.last_mod_arr.(i) <- vnum;
+      t.live <- t.live + 1)
+    pages;
+  Sim.Vec.push t.versions { committer; page_idxs = idxs };
+  vnum
+
+let committer_of t v =
+  if v <= 0 || v > current_version t then
+    invalid_arg (Printf.sprintf "Segment %s: no committer for version %d" t.name v);
+  (Sim.Vec.get t.versions (v - 1)).committer
+
+let fold_modified_since t ~since f acc =
+  let upto = current_version t in
+  let acc = ref acc in
+  for v = since + 1 to upto do
+    let entry = Sim.Vec.get t.versions (v - 1) in
+    acc := f !acc entry
+  done;
+  !acc
+
+let modified_since t ~since =
+  let seen = Hashtbl.create 64 in
+  let () =
+    fold_modified_since t ~since
+      (fun () entry -> Array.iter (fun i -> Hashtbl.replace seen i ()) entry.page_idxs)
+      ()
+  in
+  Hashtbl.fold (fun i () acc -> i :: acc) seen [] |> List.sort compare
+
+let modified_since_by_others t ~since ~tid =
+  let seen = Hashtbl.create 64 in
+  let () =
+    fold_modified_since t ~since
+      (fun () entry ->
+        if entry.committer <> tid then
+          Array.iter (fun i -> Hashtbl.replace seen i ()) entry.page_idxs)
+      ()
+  in
+  Hashtbl.length seen
+
+let versions_created t = current_version t
+let live_snapshots t = t.live
+
+let touched_pages t =
+  let n = ref 0 in
+  for i = 0 to t.npages - 1 do
+    if t.last_mod_arr.(i) > 0 then incr n
+  done;
+  !n
+
+let gc_page t ~min_base i =
+  (* Keep the newest snapshot at version <= min_base plus everything newer;
+     drop the rest.  Returns snapshots dropped. *)
+  let rec split kept = function
+    | [] -> (List.rev kept, [])
+    | (v, page) :: rest ->
+        if v <= min_base then (List.rev ((v, page) :: kept), rest)
+        else split ((v, page) :: kept) rest
+  in
+  let kept, dropped = split [] t.histories.(i) in
+  if dropped = [] then 0
+  else begin
+    t.histories.(i) <- kept;
+    let n = List.length dropped in
+    t.live <- t.live - n;
+    n
+  end
+
+let gc t ~min_base ~budget =
+  let reclaimed = ref 0 in
+  let scanned = ref 0 in
+  while !reclaimed < budget && !scanned < t.npages do
+    let i = t.gc_cursor in
+    t.gc_cursor <- (t.gc_cursor + 1) mod t.npages;
+    reclaimed := !reclaimed + gc_page t ~min_base i;
+    incr scanned
+  done;
+  !reclaimed
+
+let hash t =
+  let v = current_version t in
+  let h = ref Sim.Fnv.init in
+  for i = 0 to t.npages - 1 do
+    h := Page.hash_into !h (read_page t ~version:v i)
+  done;
+  Sim.Fnv.to_hex !h

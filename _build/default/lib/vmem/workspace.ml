@@ -1,0 +1,217 @@
+type commit_info = {
+  version : int;
+  pages_committed : int;
+  pages_merged : int;
+  bytes_merged : int;
+  committed_pages : int list;
+}
+
+type update_info = {
+  from_version : int;
+  to_version : int;
+  pages_propagated : int;
+  pages_refreshed : int;
+}
+
+type stats = {
+  mutable write_faults : int;
+  mutable pages_committed : int;
+  mutable pages_merged : int;
+  mutable bytes_merged : int;
+  mutable pages_propagated : int;
+  mutable pages_refreshed : int;
+  mutable commits : int;
+  mutable updates : int;
+}
+
+type t = {
+  seg : Segment.t;
+  tid : int;
+  mutable base : Segment.version;
+  local : (int, Page.t) Hashtbl.t; (* resident local copies *)
+  twins : (int, Page.t) Hashtbl.t; (* pristine copies of dirty pages *)
+  dirty : (int, unit) Hashtbl.t;
+  stats : stats;
+}
+
+let create seg ~tid =
+  {
+    seg;
+    tid;
+    base = Segment.current_version seg;
+    local = Hashtbl.create 64;
+    twins = Hashtbl.create 16;
+    dirty = Hashtbl.create 16;
+    stats =
+      {
+        write_faults = 0;
+        pages_committed = 0;
+        pages_merged = 0;
+        bytes_merged = 0;
+        pages_propagated = 0;
+        pages_refreshed = 0;
+        commits = 0;
+        updates = 0;
+      };
+  }
+
+let tid t = t.tid
+let segment t = t.seg
+let base t = t.base
+let stats t = t.stats
+let is_dirty t = Hashtbl.length t.dirty > 0
+let dirty_count t = Hashtbl.length t.dirty
+let resident_pages t = Hashtbl.length t.local
+
+let page_size t = Segment.page_size t.seg
+
+let check_range t ~addr ~len =
+  let limit = Segment.page_count t.seg * page_size t in
+  if addr < 0 || len < 0 || addr + len > limit then
+    invalid_arg
+      (Printf.sprintf "Workspace: access [%d, %d) outside segment of %d bytes" addr (addr + len)
+         limit)
+
+(* The page content this thread currently sees for [i]: its own local copy
+   if resident, else the committed snapshot at its base version. *)
+let view_page t i =
+  match Hashtbl.find_opt t.local i with
+  | Some page -> page
+  | None -> Segment.read_page t.seg ~version:t.base i
+
+(* Fault a page into the local workspace for writing: copy the visible
+   content, keep a twin for later diffing, mark dirty. *)
+let fault_for_write t i =
+  if not (Hashtbl.mem t.dirty i) then begin
+    let local =
+      match Hashtbl.find_opt t.local i with
+      | Some page -> page
+      | None ->
+          let copy = Page.copy (Segment.read_page t.seg ~version:t.base i) in
+          Hashtbl.replace t.local i copy;
+          copy
+    in
+    Hashtbl.replace t.twins i (Page.copy local);
+    Hashtbl.replace t.dirty i ();
+    t.stats.write_faults <- t.stats.write_faults + 1
+  end
+
+let read t ~addr ~len =
+  check_range t ~addr ~len;
+  let psize = page_size t in
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let pg = a / psize and off = a mod psize in
+    let n = min (len - !pos) (psize - off) in
+    Bytes.blit (view_page t pg) off out !pos n;
+    pos := !pos + n
+  done;
+  out
+
+let write t ~addr buf =
+  let len = Bytes.length buf in
+  check_range t ~addr ~len;
+  let psize = page_size t in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let pg = a / psize and off = a mod psize in
+    let n = min (len - !pos) (psize - off) in
+    fault_for_write t pg;
+    Bytes.blit buf !pos (Hashtbl.find t.local pg) off n;
+    pos := !pos + n
+  done
+
+let read_int64 t ~addr =
+  let b = read t ~addr ~len:8 in
+  Bytes.get_int64_le b 0
+
+let write_int64 t ~addr v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write t ~addr b
+
+let read_int t ~addr = Int64.to_int (read_int64 t ~addr)
+let write_int t ~addr v = write_int64 t ~addr (Int64.of_int v)
+
+let commit t =
+  let dirty = Hashtbl.fold (fun i () acc -> i :: acc) t.dirty [] |> List.sort compare in
+  match dirty with
+  | [] ->
+      {
+        version = Segment.current_version t.seg;
+        pages_committed = 0;
+        pages_merged = 0;
+        bytes_merged = 0;
+        committed_pages = [];
+      }
+  | _ ->
+      let latest = Segment.current_version t.seg in
+      let merged = ref 0 and merged_bytes = ref 0 in
+      let snapshots =
+        List.map
+          (fun i ->
+            let local = Hashtbl.find t.local i in
+            if Segment.last_mod t.seg i > t.base then begin
+              (* A concurrent committer beat us to this page: byte-merge our
+                 modifications onto the newest committed copy. *)
+              let target = Page.copy (Segment.read_page t.seg ~version:latest i) in
+              let twin = Hashtbl.find t.twins i in
+              let nbytes = Page.merge_into ~twin ~local ~target in
+              incr merged;
+              merged_bytes := !merged_bytes + nbytes;
+              (i, target)
+            end
+            else (i, Page.copy local))
+          dirty
+      in
+      let version = Segment.commit t.seg ~committer:t.tid ~pages:snapshots in
+      let committed = List.length dirty in
+      Hashtbl.reset t.dirty;
+      Hashtbl.reset t.twins;
+      t.stats.commits <- t.stats.commits + 1;
+      t.stats.pages_committed <- t.stats.pages_committed + committed;
+      t.stats.pages_merged <- t.stats.pages_merged + !merged;
+      t.stats.bytes_merged <- t.stats.bytes_merged + !merged_bytes;
+      {
+        version;
+        pages_committed = committed;
+        pages_merged = !merged;
+        bytes_merged = !merged_bytes;
+        committed_pages = dirty;
+      }
+
+let update t =
+  if is_dirty t then invalid_arg "Workspace.update: dirty pages present; commit first";
+  let from_version = t.base in
+  let to_version = Segment.current_version t.seg in
+  if to_version = from_version then
+    { from_version; to_version; pages_propagated = 0; pages_refreshed = 0 }
+  else begin
+    let propagated = Segment.modified_since_by_others t.seg ~since:from_version ~tid:t.tid in
+    let refreshed = ref 0 in
+    let modified = Segment.modified_since t.seg ~since:from_version in
+    List.iter
+      (fun i ->
+        match Hashtbl.find_opt t.local i with
+        | None -> ()
+        | Some local ->
+            let fresh = Segment.read_page t.seg ~version:to_version i in
+            if not (Page.equal local fresh) then begin
+              Bytes.blit fresh 0 local 0 (Bytes.length fresh);
+              incr refreshed
+            end)
+      modified;
+    t.base <- to_version;
+    t.stats.updates <- t.stats.updates + 1;
+    t.stats.pages_propagated <- t.stats.pages_propagated + propagated;
+    t.stats.pages_refreshed <- t.stats.pages_refreshed + !refreshed;
+    { from_version; to_version; pages_propagated = propagated; pages_refreshed = !refreshed }
+  end
+
+let drop_residents t =
+  if is_dirty t then invalid_arg "Workspace.drop_residents: dirty pages present";
+  Hashtbl.reset t.local;
+  Hashtbl.reset t.twins

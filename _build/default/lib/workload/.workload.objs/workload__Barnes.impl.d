@@ -1,0 +1,1 @@
+lib/workload/barnes.ml: Api Printf Wl_util

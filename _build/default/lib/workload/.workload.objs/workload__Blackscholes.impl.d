@@ -1,0 +1,1 @@
+lib/workload/blackscholes.ml: Api Printf Wl_util

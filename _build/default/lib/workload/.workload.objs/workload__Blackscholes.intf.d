@@ -1,0 +1,1 @@
+lib/workload/blackscholes.mli: Api

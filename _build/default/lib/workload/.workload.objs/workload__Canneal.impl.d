@@ -1,0 +1,1 @@
+lib/workload/canneal.ml: Api Printf Sim Wl_util

@@ -1,0 +1,1 @@
+lib/workload/canneal.mli: Api

@@ -1,0 +1,1 @@
+lib/workload/dedup.ml: Api List Printf Wl_util

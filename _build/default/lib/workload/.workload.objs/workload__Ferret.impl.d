@@ -1,0 +1,1 @@
+lib/workload/ferret.ml: Api List Printf Wl_util

@@ -1,0 +1,1 @@
+lib/workload/histogram.ml: Api Printf Wl_util

@@ -1,0 +1,1 @@
+lib/workload/kmeans.ml: Api Printf Wl_util

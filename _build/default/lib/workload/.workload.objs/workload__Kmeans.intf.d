@@ -1,0 +1,1 @@
+lib/workload/kmeans.mli: Api

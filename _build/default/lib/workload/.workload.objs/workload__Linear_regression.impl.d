@@ -1,0 +1,1 @@
+lib/workload/linear_regression.ml: Api Printf Wl_util

@@ -1,0 +1,1 @@
+lib/workload/linear_regression.mli: Api

@@ -1,0 +1,1 @@
+lib/workload/lu_cb.ml: Api Printf Wl_util

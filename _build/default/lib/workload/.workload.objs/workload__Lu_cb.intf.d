@@ -1,0 +1,1 @@
+lib/workload/lu_cb.mli: Api

@@ -1,0 +1,1 @@
+lib/workload/lu_ncb.ml: Api Printf Wl_util

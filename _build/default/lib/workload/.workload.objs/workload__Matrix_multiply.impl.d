@@ -1,0 +1,1 @@
+lib/workload/matrix_multiply.ml: Api Printf Wl_util

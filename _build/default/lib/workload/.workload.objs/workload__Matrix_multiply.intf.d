@@ -1,0 +1,1 @@
+lib/workload/matrix_multiply.mli: Api

@@ -1,0 +1,1 @@
+lib/workload/ocean_cp.ml: Api Printf Wl_util

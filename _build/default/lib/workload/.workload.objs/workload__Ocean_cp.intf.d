@@ -1,0 +1,1 @@
+lib/workload/ocean_cp.mli: Api

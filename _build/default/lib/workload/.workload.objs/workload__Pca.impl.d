@@ -1,0 +1,1 @@
+lib/workload/pca.ml: Api Printf Wl_util

@@ -1,0 +1,1 @@
+lib/workload/reverse_index.ml: Api Printf Wl_util

@@ -1,0 +1,1 @@
+lib/workload/reverse_index.mli: Api

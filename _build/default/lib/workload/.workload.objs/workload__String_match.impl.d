@@ -1,0 +1,1 @@
+lib/workload/string_match.ml: Api Printf Wl_util

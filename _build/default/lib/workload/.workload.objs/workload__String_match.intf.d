@@ -1,0 +1,1 @@
+lib/workload/string_match.mli: Api

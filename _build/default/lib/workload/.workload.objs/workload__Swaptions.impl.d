@@ -1,0 +1,1 @@
+lib/workload/swaptions.ml: Api Printf Wl_util

@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Api List Printf Sim Wl_util

@@ -1,0 +1,1 @@
+lib/workload/water_nsquared.ml: Api Printf Wl_util

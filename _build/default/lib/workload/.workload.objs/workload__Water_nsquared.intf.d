@@ -1,0 +1,1 @@
+lib/workload/water_nsquared.mli: Api

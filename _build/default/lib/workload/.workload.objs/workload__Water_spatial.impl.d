@@ -1,0 +1,1 @@
+lib/workload/water_spatial.ml: Api Printf Wl_util

@@ -1,0 +1,1 @@
+lib/workload/wl_util.ml: Api Bytes Char Float List

@@ -1,0 +1,1 @@
+lib/workload/word_count.ml: Api Printf Wl_util

@@ -1,0 +1,1 @@
+lib/workload/word_count.mli: Api

@@ -1,0 +1,84 @@
+type suite = Phoenix | Parsec | Splash2
+
+let suite_name = function
+  | Phoenix -> "phoenix"
+  | Parsec -> "parsec"
+  | Splash2 -> "splash-2"
+
+type entry = {
+  suite : suite;
+  program : Api.t;
+  make : ?scale:float -> unit -> Api.t;
+}
+
+let entry suite (make : ?scale:float -> unit -> Api.t) =
+  { suite; program = make (); make }
+
+let all =
+  [
+    entry Phoenix Histogram.make;
+    entry Phoenix Kmeans.make;
+    entry Phoenix Linear_regression.make;
+    entry Phoenix Matrix_multiply.make;
+    entry Phoenix Pca.make;
+    entry Phoenix Reverse_index.make;
+    entry Phoenix String_match.make;
+    entry Phoenix Word_count.make;
+    entry Parsec Blackscholes.make;
+    entry Parsec Canneal.make;
+    entry Parsec Dedup.make;
+    entry Parsec Ferret.make;
+    entry Parsec Swaptions.make;
+    entry Splash2 Barnes.make;
+    entry Splash2 Lu_cb.make;
+    entry Splash2 Lu_ncb.make;
+    entry Splash2 Ocean_cp.make;
+    entry Splash2 Water_nsquared.make;
+    entry Splash2 Water_spatial.make;
+  ]
+
+let names = List.map (fun e -> e.program.Api.name) all
+
+let find name =
+  match List.find_opt (fun e -> e.program.Api.name = name) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let hardest_five = [ "ocean_cp"; "lu_ncb"; "ferret"; "water_nsquared"; "canneal" ]
+let fig11_set = [ "ocean_cp"; "lu_ncb"; "ferret"; "kmeans"; "water_nsquared"; "canneal" ]
+
+let fig13_set =
+  [ "ocean_cp"; "lu_ncb"; "ferret"; "kmeans"; "water_nsquared"; "canneal"; "reverse_index"; "lu_cb" ]
+
+let fig14_set = [ "reverse_index"; "ferret" ]
+
+let fig15_set =
+  [
+    "string_match";
+    "ocean_cp";
+    "lu_cb";
+    "lu_ncb";
+    "canneal";
+    "water_nsquared";
+    "water_spatial";
+    "kmeans";
+    "ferret";
+    "dedup";
+    "reverse_index";
+  ]
+
+let fig16_set =
+  [
+    "canneal";
+    "ocean_cp";
+    "lu_ncb";
+    "lu_cb";
+    "water_nsquared";
+    "water_spatial";
+    "kmeans";
+    "ferret";
+    "dedup";
+    "barnes";
+    "pca";
+    "word_count";
+  ]

@@ -1,0 +1,5 @@
+(** PARSEC [swaptions]: Monte-Carlo pricing over private state;
+    embarrassingly parallel. *)
+
+val make : ?scale:float -> unit -> Api.t
+val default : Api.t

@@ -1,0 +1,5 @@
+(** Phoenix [word_count]: parallel scan plus a lock-protected merge of
+    per-thread counts into the shared table. *)
+
+val make : ?scale:float -> unit -> Api.t
+val default : Api.t

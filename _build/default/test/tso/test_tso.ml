@@ -1,0 +1,212 @@
+(* Tests for the litmus DSL, the operational TSO/SC models, and the
+   checker that validates the runtimes' consistency claims. *)
+
+module L = Tso.Litmus
+module M = Tso.Model
+module C = Tso.Checker
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let outcome regs = List.sort compare regs
+
+let mem set o = M.Outcome_set.mem (outcome o) set
+
+(* ------------------------------------------------------------------ *)
+(* Litmus DSL                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_registers_and_vars () =
+  Alcotest.(check (list string)) "sb regs" [ "r0"; "r1" ] (L.registers L.sb);
+  Alcotest.(check (list string)) "sb vars" [ "x"; "y" ] (L.vars L.sb);
+  Alcotest.(check (list string)) "iriw regs" [ "r0"; "r1"; "r2"; "r3" ] (L.registers L.iriw)
+
+let test_all_tests_well_formed () =
+  List.iter
+    (fun t ->
+      check_bool (t.L.name ^ " has threads") true (List.length t.L.threads >= 1);
+      check_bool (t.L.name ^ " has registers") true (List.length (L.registers t) >= 1))
+    L.all
+
+(* ------------------------------------------------------------------ *)
+(* Operational models                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_sb_models () =
+  let sc = M.sc_outcomes L.sb and tso = M.tso_outcomes L.sb in
+  (* SC: the classic 3 outcomes; TSO adds (0,0). *)
+  check_int "sc count" 3 (M.Outcome_set.cardinal sc);
+  check_int "tso count" 4 (M.Outcome_set.cardinal tso);
+  check_bool "tso allows 0,0" true (mem tso [ ("r0", 0); ("r1", 0) ]);
+  check_bool "sc forbids 0,0" false (mem sc [ ("r0", 0); ("r1", 0) ])
+
+let test_mp_models () =
+  (* Message passing: under both SC and TSO, flag=1 implies data=1. *)
+  List.iter
+    (fun outcomes ->
+      check_bool "forbids r1=1,r2=0" false (mem outcomes [ ("r1", 1); ("r2", 0) ]);
+      check_bool "allows r1=1,r2=1" true (mem outcomes [ ("r1", 1); ("r2", 1) ]);
+      check_bool "allows r1=0,r2=0" true (mem outcomes [ ("r1", 0); ("r2", 0) ]))
+    [ M.sc_outcomes L.mp; M.tso_outcomes L.mp; M.sc_outcomes L.mp_unfenced; M.tso_outcomes L.mp_unfenced ]
+
+let test_lb_models () =
+  (* Load buffering: TSO does not reorder loads with later stores. *)
+  let tso = M.tso_outcomes L.lb in
+  check_bool "forbids 1,1" false (mem tso [ ("r0", 1); ("r1", 1) ]);
+  check_bool "allows 0,0" true (mem tso [ ("r0", 0); ("r1", 0) ])
+
+let test_corr_models () =
+  (* Read-read coherence: r0=1 then r1=0 is forbidden. *)
+  let tso = M.tso_outcomes L.corr in
+  check_bool "no backwards reads" false (mem tso [ ("r0", 1); ("r1", 0) ]);
+  check_bool "allows 0 then 1" true (mem tso [ ("r0", 0); ("r1", 1) ])
+
+let test_iriw_models () =
+  (* IRIW: readers must agree on the store order under TSO (no outcome
+     where both see the two stores in opposite orders). *)
+  let tso = M.tso_outcomes L.iriw in
+  check_bool "forbids disagreement" false
+    (mem tso [ ("r0", 1); ("r1", 0); ("r2", 1); ("r3", 0) ])
+
+let test_n7_models () =
+  let sc = M.sc_outcomes L.n7 and tso = M.tso_outcomes L.n7 in
+  (* Own stores are visible early: r0=1 and r2=1 always. *)
+  M.Outcome_set.iter
+    (fun o ->
+      check_int "reads own store x" 1 (List.assoc "r0" o);
+      check_int "reads own store y" 1 (List.assoc "r2" o))
+    tso;
+  check_bool "tso-only outcome exists" true (M.Outcome_set.cardinal tso > M.Outcome_set.cardinal sc)
+
+let prop_sc_subset_of_tso =
+  QCheck.Test.make ~name:"SC outcomes are always a subset of TSO outcomes" ~count:7
+    QCheck.(int_bound (List.length L.all - 1))
+    (fun i ->
+      let t = List.nth L.all i in
+      M.Outcome_set.subset (M.sc_outcomes t) (M.tso_outcomes t))
+
+let test_delay_does_not_change_outcomes () =
+  let padded =
+    {
+      L.name = "SB+delays";
+      description = "";
+      threads =
+        [
+          [ L.Delay 100; L.Store ("x", 1); L.Delay 50; L.Load ("y", "r0") ];
+          [ L.Store ("y", 1); L.Load ("x", "r1") ];
+        ];
+    }
+  in
+  check_bool "same sets" true
+    (M.Outcome_set.equal (M.tso_outcomes padded) (M.tso_outcomes L.sb))
+
+(* ------------------------------------------------------------------ *)
+(* Checker against the real runtimes                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_all_runtimes_tso_consistent () =
+  List.iter
+    (fun test ->
+      List.iter
+        (fun rt ->
+          let v = C.run_test rt test in
+          check_bool
+            (Printf.sprintf "%s on %s tso-ok" test.L.name v.C.runtime)
+            true v.C.tso_ok)
+        Runtime.Run.all)
+    L.all
+
+let test_store_buffering_observed () =
+  (* The deterministic runtimes must exhibit the TSO-only SB outcome. *)
+  List.iter
+    (fun rt ->
+      let v = C.run_test rt L.sb in
+      check_bool (Runtime.Run.name rt ^ " buffers stores") true v.C.beyond_sc)
+    [ Runtime.Run.dthreads; Runtime.Run.dwc; Runtime.Run.consequence_rr; Runtime.Run.consequence_ic ]
+
+let test_pthreads_is_sc () =
+  List.iter
+    (fun test ->
+      let v = C.run_test Runtime.Run.pthreads test in
+      check_bool (test.L.name ^ " pthreads within SC") true v.C.sc_ok)
+    L.all
+
+let test_observe_deterministic () =
+  (* A single observation on a deterministic runtime is seed-invariant. *)
+  let o1 = C.observe Runtime.Run.consequence_ic ~seed:1 L.iriw in
+  let o2 = C.observe Runtime.Run.consequence_ic ~seed:999 L.iriw in
+  check_bool "same outcome" true (o1 = o2)
+
+let test_paddings_change_outcomes_somewhere () =
+  (* Different start delays must be able to produce different outcomes
+     (otherwise the checker explores nothing).  On the deterministic
+     runtimes most two-thread tests are padding-insensitive (threads only
+     observe each other's commits at their own sync points), so IRIW —
+     where the checker's delay grid shifts the writers' exit commits
+     relative to the readers — and pthreads' genuinely timing-dependent
+     SB are the probes. *)
+  let sb_outcomes =
+    List.map
+      (fun paddings -> C.observe Runtime.Run.pthreads ~paddings L.sb)
+      (C.default_paddings ~nthreads:2)
+  in
+  check_bool "pthreads sb outcomes vary" true
+    (List.length (List.sort_uniq compare sb_outcomes) > 1)
+
+(* Random litmus tests: generate small store/load programs and verify the
+   deterministic runtime's outcomes stay within the operational TSO set. *)
+let random_litmus ~seed =
+  let p = Sim.Prng.create ~seed in
+  let var () = if Sim.Prng.bool p then "x" else "y" in
+  let thread tid =
+    List.init
+      (2 + Sim.Prng.int p ~bound:2)
+      (fun k ->
+        if Sim.Prng.bool p then L.Store (var (), 1 + Sim.Prng.int p ~bound:2)
+        else L.Load (var (), Printf.sprintf "r%d_%d" tid k))
+  in
+  {
+    L.name = Printf.sprintf "rand-%d" seed;
+    description = "generated";
+    threads = [ thread 0; thread 1 ];
+  }
+
+let prop_random_litmus_within_tso =
+  QCheck.Test.make ~name:"random litmus programs stay within the TSO model" ~count:25
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let test = random_litmus ~seed in
+      let v = C.run_test Runtime.Run.consequence_ic ~seeds:[ 1 ] test in
+      v.C.tso_ok)
+
+let () =
+  Alcotest.run "tso"
+    [
+      ( "litmus",
+        [
+          Alcotest.test_case "registers and vars" `Quick test_registers_and_vars;
+          Alcotest.test_case "well-formed" `Quick test_all_tests_well_formed;
+        ] );
+      ( "models",
+        [
+          Alcotest.test_case "SB" `Quick test_sb_models;
+          Alcotest.test_case "MP" `Quick test_mp_models;
+          Alcotest.test_case "LB" `Quick test_lb_models;
+          Alcotest.test_case "CoRR" `Quick test_corr_models;
+          Alcotest.test_case "IRIW" `Quick test_iriw_models;
+          Alcotest.test_case "n7" `Quick test_n7_models;
+          Alcotest.test_case "delays don't change outcomes" `Quick
+            test_delay_does_not_change_outcomes;
+          QCheck_alcotest.to_alcotest prop_sc_subset_of_tso;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "all runtimes TSO-consistent" `Slow test_all_runtimes_tso_consistent;
+          Alcotest.test_case "store buffering observed" `Quick test_store_buffering_observed;
+          Alcotest.test_case "pthreads is SC" `Quick test_pthreads_is_sc;
+          Alcotest.test_case "observation deterministic" `Quick test_observe_deterministic;
+          Alcotest.test_case "paddings explore outcomes" `Quick
+            test_paddings_change_outcomes_somewhere;
+          QCheck_alcotest.to_alcotest prop_random_litmus_within_tso;
+        ] );
+    ]

@@ -1,0 +1,570 @@
+(* Tests for the Conversion-style versioned memory substrate. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_bytes = Alcotest.(check string)
+
+let bytes_of_string = Bytes.of_string
+let string_of_bytes = Bytes.to_string
+
+let make_segment ?(pages = 8) ?(page_size = 16) () =
+  Vmem.Segment.create ~pages ~page_size ()
+
+(* ------------------------------------------------------------------ *)
+(* Page                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_page_create_zeroed () =
+  let p = Vmem.Page.create ~size:8 in
+  check_bytes "zeroed" (String.make 8 '\000') (string_of_bytes p)
+
+let test_page_copy_independent () =
+  let p = Vmem.Page.create ~size:4 in
+  let q = Vmem.Page.copy p in
+  Bytes.set q 0 'x';
+  check_bool "original untouched" true (Bytes.get p 0 = '\000')
+
+let test_page_diff_count () =
+  let twin = bytes_of_string "abcd" and local = bytes_of_string "axcy" in
+  check_int "two bytes differ" 2 (Vmem.Page.diff_count ~twin ~local)
+
+let test_page_diff_count_zero () =
+  let twin = bytes_of_string "abcd" in
+  check_int "identical" 0 (Vmem.Page.diff_count ~twin ~local:(Bytes.copy twin))
+
+let test_page_merge_applies_only_changes () =
+  (* Thread changed byte 1 (b->X).  Target meanwhile has byte 3 changed by
+     someone else (d->Z).  Merge must keep Z and apply X. *)
+  let twin = bytes_of_string "abcd" in
+  let local = bytes_of_string "aXcd" in
+  let target = bytes_of_string "abcZ" in
+  let n = Vmem.Page.merge_into ~twin ~local ~target in
+  check_int "one byte merged" 1 n;
+  check_bytes "merged result" "aXcZ" (string_of_bytes target)
+
+let test_page_merge_overlap_last_writer_wins () =
+  (* Both modified byte 0; merging local over target overwrites: the later
+     committer wins at byte granularity. *)
+  let twin = bytes_of_string "abcd" in
+  let local = bytes_of_string "Lbcd" in
+  let target = bytes_of_string "Ebcd" in
+  ignore (Vmem.Page.merge_into ~twin ~local ~target);
+  check_bytes "later committer wins" "Lbcd" (string_of_bytes target)
+
+let test_page_merge_length_mismatch () =
+  let twin = bytes_of_string "abcd" and local = bytes_of_string "abc" in
+  Alcotest.check_raises "mismatch raises"
+    (Invalid_argument "Page.merge_into: length mismatch (4 vs 3)") (fun () ->
+      ignore (Vmem.Page.merge_into ~twin ~local ~target:(Bytes.copy twin)))
+
+(* ------------------------------------------------------------------ *)
+(* Segment                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let page_str seg ~version i = string_of_bytes (Vmem.Segment.read_page seg ~version i)
+
+let mk_page seg s =
+  let p = Vmem.Page.create ~size:(Vmem.Segment.page_size seg) in
+  Bytes.blit_string s 0 p 0 (String.length s);
+  p
+
+let test_segment_initial_state () =
+  let seg = make_segment () in
+  check_int "version 0" 0 (Vmem.Segment.current_version seg);
+  check_int "no snapshots" 0 (Vmem.Segment.live_snapshots seg);
+  check_bytes "zero page" (String.make 16 '\000') (page_str seg ~version:0 3);
+  check_int "never modified" 0 (Vmem.Segment.last_mod seg 3)
+
+let test_segment_commit_creates_versions () =
+  let seg = make_segment () in
+  let v1 = Vmem.Segment.commit seg ~committer:0 ~pages:[ (1, mk_page seg "one") ] in
+  let v2 = Vmem.Segment.commit seg ~committer:1 ~pages:[ (2, mk_page seg "two") ] in
+  check_int "v1" 1 v1;
+  check_int "v2" 2 v2;
+  check_int "current" 2 (Vmem.Segment.current_version seg);
+  check_int "committer v1" 0 (Vmem.Segment.committer_of seg 1);
+  check_int "committer v2" 1 (Vmem.Segment.committer_of seg 2)
+
+let test_segment_historical_reads () =
+  let seg = make_segment () in
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (0, mk_page seg "AAA") ]);
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (0, mk_page seg "BBB") ]);
+  check_bool "v0 sees zero" true (String.for_all (( = ) '\000') (page_str seg ~version:0 0));
+  check_bool "v1 sees AAA" true (String.length (page_str seg ~version:1 0) = 16
+                                 && String.sub (page_str seg ~version:1 0) 0 3 = "AAA");
+  check_bool "v2 sees BBB" true (String.sub (page_str seg ~version:2 0) 0 3 = "BBB")
+
+let test_segment_last_mod () =
+  let seg = make_segment () in
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (4, mk_page seg "x") ]);
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (5, mk_page seg "y") ]);
+  check_int "page 4 at v1" 1 (Vmem.Segment.last_mod seg 4);
+  check_int "page 5 at v2" 2 (Vmem.Segment.last_mod seg 5);
+  check_int "page 6 never" 0 (Vmem.Segment.last_mod seg 6)
+
+let test_segment_duplicate_page_in_commit () =
+  let seg = make_segment () in
+  let raised =
+    try
+      ignore
+        (Vmem.Segment.commit seg ~committer:0
+           ~pages:[ (1, mk_page seg "a"); (1, mk_page seg "b") ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "duplicate rejected" true raised
+
+let test_segment_modified_since () =
+  let seg = make_segment () in
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (1, mk_page seg "a") ]);
+  ignore (Vmem.Segment.commit seg ~committer:1 ~pages:[ (2, mk_page seg "b"); (3, mk_page seg "c") ]);
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (1, mk_page seg "d") ]);
+  Alcotest.(check (list int)) "since 0" [ 1; 2; 3 ] (Vmem.Segment.modified_since seg ~since:0);
+  Alcotest.(check (list int)) "since 1" [ 1; 2; 3 ] (Vmem.Segment.modified_since seg ~since:1);
+  Alcotest.(check (list int)) "since 2" [ 1 ] (Vmem.Segment.modified_since seg ~since:2);
+  Alcotest.(check (list int)) "since 3" [] (Vmem.Segment.modified_since seg ~since:3)
+
+let test_segment_modified_by_others () =
+  let seg = make_segment () in
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (1, mk_page seg "a") ]);
+  ignore (Vmem.Segment.commit seg ~committer:1 ~pages:[ (2, mk_page seg "b") ]);
+  check_int "tid 0 sees only tid 1's page" 1
+    (Vmem.Segment.modified_since_by_others seg ~since:0 ~tid:0);
+  check_int "tid 1 sees only tid 0's page" 1
+    (Vmem.Segment.modified_since_by_others seg ~since:0 ~tid:1);
+  check_int "tid 2 sees both" 2 (Vmem.Segment.modified_since_by_others seg ~since:0 ~tid:2)
+
+let test_segment_gc_reclaims_obsolete () =
+  let seg = make_segment () in
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (0, mk_page seg "v1") ]);
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (0, mk_page seg "v2") ]);
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (0, mk_page seg "v3") ]);
+  check_int "3 snapshots live" 3 (Vmem.Segment.live_snapshots seg);
+  (* Everyone is at version >= 2: the v1 snapshot is obsolete, v2 must stay
+     (it is the newest <= min_base), v3 stays. *)
+  let reclaimed = Vmem.Segment.gc seg ~min_base:2 ~budget:100 in
+  check_int "one reclaimed" 1 reclaimed;
+  check_int "2 snapshots live" 2 (Vmem.Segment.live_snapshots seg);
+  check_bool "v2 still readable" true (String.sub (page_str seg ~version:2 0) 0 2 = "v2");
+  check_bool "v3 still readable" true (String.sub (page_str seg ~version:3 0) 0 2 = "v3")
+
+let test_segment_gc_budget () =
+  let seg = make_segment ~pages:4 () in
+  for _ = 1 to 5 do
+    ignore
+      (Vmem.Segment.commit seg ~committer:0
+         ~pages:[ (0, mk_page seg "x"); (1, mk_page seg "y") ])
+  done;
+  check_int "10 snapshots" 10 (Vmem.Segment.live_snapshots seg);
+  (* At min_base 5 only the newest snapshot of each page is needed: 8 are
+     obsolete, but the budget only allows a few. *)
+  let r1 = Vmem.Segment.gc seg ~min_base:5 ~budget:3 in
+  check_bool "budget respected" true (r1 <= 4 && r1 >= 3);
+  let r2 = Vmem.Segment.gc seg ~min_base:5 ~budget:100 in
+  check_int "rest reclaimed" (8 - r1) r2;
+  check_int "only newest kept" 2 (Vmem.Segment.live_snapshots seg)
+
+let test_segment_hash_changes () =
+  let seg = make_segment () in
+  let h0 = Vmem.Segment.hash seg in
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (0, mk_page seg "zz") ]);
+  check_bool "hash changed" false (h0 = Vmem.Segment.hash seg)
+
+let test_segment_hash_stable_under_gc () =
+  let seg = make_segment () in
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (0, mk_page seg "a") ]);
+  ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (0, mk_page seg "b") ]);
+  let h = Vmem.Segment.hash seg in
+  ignore (Vmem.Segment.gc seg ~min_base:2 ~budget:100);
+  check_bytes "gc does not change current image" h (Vmem.Segment.hash seg)
+
+(* ------------------------------------------------------------------ *)
+(* Workspace                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_ws_read_initial_zero () =
+  let seg = make_segment () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  check_bytes "zero read" (String.make 10 '\000')
+    (string_of_bytes (Vmem.Workspace.read ws ~addr:37 ~len:10))
+
+let test_ws_reads_own_writes () =
+  let seg = make_segment () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  Vmem.Workspace.write ws ~addr:5 (bytes_of_string "hello");
+  check_bytes "store-buffer forwarding" "hello"
+    (string_of_bytes (Vmem.Workspace.read ws ~addr:5 ~len:5))
+
+let test_ws_isolation_before_update () =
+  let seg = make_segment () in
+  let w0 = Vmem.Workspace.create seg ~tid:0 in
+  let w1 = Vmem.Workspace.create seg ~tid:1 in
+  Vmem.Workspace.write w0 ~addr:0 (bytes_of_string "secret");
+  ignore (Vmem.Workspace.commit w0);
+  (* w1 has not updated: the commit must be invisible. *)
+  check_bytes "isolated" (String.make 6 '\000')
+    (string_of_bytes (Vmem.Workspace.read w1 ~addr:0 ~len:6));
+  ignore (Vmem.Workspace.update w1);
+  check_bytes "visible after update" "secret"
+    (string_of_bytes (Vmem.Workspace.read w1 ~addr:0 ~len:6))
+
+let test_ws_commit_then_own_view () =
+  let seg = make_segment () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  Vmem.Workspace.write ws ~addr:0 (bytes_of_string "mine");
+  ignore (Vmem.Workspace.commit ws);
+  (* After commit (even before update) the thread still sees its own data:
+     local copies stay resident. *)
+  check_bytes "own writes persist" "mine"
+    (string_of_bytes (Vmem.Workspace.read ws ~addr:0 ~len:4))
+
+let test_ws_cross_page_write_read () =
+  let seg = make_segment ~pages:4 ~page_size:8 () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  let s = "0123456789abcdef" in
+  Vmem.Workspace.write ws ~addr:4 (bytes_of_string s);
+  check_bytes "spans pages" s (string_of_bytes (Vmem.Workspace.read ws ~addr:4 ~len:16));
+  check_int "three pages dirtied" 3 (Vmem.Workspace.dirty_count ws)
+
+let test_ws_write_fault_once_per_chunk () =
+  let seg = make_segment () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  Vmem.Workspace.write ws ~addr:0 (bytes_of_string "a");
+  Vmem.Workspace.write ws ~addr:1 (bytes_of_string "b");
+  Vmem.Workspace.write ws ~addr:2 (bytes_of_string "c");
+  check_int "one fault" 1 (Vmem.Workspace.stats ws).write_faults;
+  ignore (Vmem.Workspace.commit ws);
+  (* New chunk: writing the same page faults again. *)
+  Vmem.Workspace.write ws ~addr:3 (bytes_of_string "d");
+  check_int "fault in next chunk" 2 (Vmem.Workspace.stats ws).write_faults
+
+let test_ws_disjoint_byte_merge () =
+  (* Two threads write different bytes of the same page; both updates must
+     survive (byte-granularity merging, paper section 2.5). *)
+  let seg = make_segment () in
+  let w0 = Vmem.Workspace.create seg ~tid:0 in
+  let w1 = Vmem.Workspace.create seg ~tid:1 in
+  Vmem.Workspace.write w0 ~addr:0 (bytes_of_string "AA");
+  Vmem.Workspace.write w1 ~addr:8 (bytes_of_string "BB");
+  let c0 = Vmem.Workspace.commit w0 in
+  let c1 = Vmem.Workspace.commit w1 in
+  check_int "w0 clean commit" 0 c0.pages_merged;
+  check_int "w1 merged" 1 c1.pages_merged;
+  check_int "w1 merged 2 bytes" 2 c1.bytes_merged;
+  let w2 = Vmem.Workspace.create seg ~tid:2 in
+  check_bytes "both writes survive" "AA\000\000\000\000\000\000BB"
+    (string_of_bytes (Vmem.Workspace.read w2 ~addr:0 ~len:10))
+
+let test_ws_overlapping_merge_last_writer_wins () =
+  let seg = make_segment () in
+  let w0 = Vmem.Workspace.create seg ~tid:0 in
+  let w1 = Vmem.Workspace.create seg ~tid:1 in
+  Vmem.Workspace.write w0 ~addr:0 (bytes_of_string "first");
+  Vmem.Workspace.write w1 ~addr:0 (bytes_of_string "SECON");
+  ignore (Vmem.Workspace.commit w0);
+  ignore (Vmem.Workspace.commit w1);
+  let w2 = Vmem.Workspace.create seg ~tid:2 in
+  check_bytes "last committer wins" "SECON"
+    (string_of_bytes (Vmem.Workspace.read w2 ~addr:0 ~len:5))
+
+let test_ws_merge_preserves_untouched_remote_bytes () =
+  (* w1 writes bytes 0-1 and commits; w0, still at the old base, writes
+     byte 4 of the same page and commits.  The merge must keep w1's bytes. *)
+  let seg = make_segment () in
+  let w0 = Vmem.Workspace.create seg ~tid:0 in
+  let w1 = Vmem.Workspace.create seg ~tid:1 in
+  Vmem.Workspace.write w1 ~addr:0 (bytes_of_string "XY");
+  ignore (Vmem.Workspace.commit w1);
+  Vmem.Workspace.write w0 ~addr:4 (bytes_of_string "Q");
+  ignore (Vmem.Workspace.commit w0);
+  let w2 = Vmem.Workspace.create seg ~tid:2 in
+  check_bytes "union of both" "XY\000\000Q"
+    (string_of_bytes (Vmem.Workspace.read w2 ~addr:0 ~len:5))
+
+let test_ws_update_with_dirty_raises () =
+  let seg = make_segment () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  Vmem.Workspace.write ws ~addr:0 (bytes_of_string "x");
+  let raised = try ignore (Vmem.Workspace.update ws); false with Invalid_argument _ -> true in
+  check_bool "raises" true raised
+
+let test_ws_update_refreshes_residents () =
+  let seg = make_segment () in
+  let w0 = Vmem.Workspace.create seg ~tid:0 in
+  let w1 = Vmem.Workspace.create seg ~tid:1 in
+  (* Make page 0 resident in w0 by writing it and committing. *)
+  Vmem.Workspace.write w0 ~addr:0 (bytes_of_string "old");
+  ignore (Vmem.Workspace.commit w0);
+  ignore (Vmem.Workspace.update w0);
+  (* w1 overwrites the page. *)
+  ignore (Vmem.Workspace.update w1);
+  Vmem.Workspace.write w1 ~addr:0 (bytes_of_string "new");
+  ignore (Vmem.Workspace.commit w1);
+  let info = Vmem.Workspace.update w0 in
+  check_int "one page refreshed" 1 info.pages_refreshed;
+  check_bytes "sees new content" "new"
+    (string_of_bytes (Vmem.Workspace.read w0 ~addr:0 ~len:3))
+
+let test_ws_propagation_excludes_own_commits () =
+  let seg = make_segment () in
+  let w0 = Vmem.Workspace.create seg ~tid:0 in
+  Vmem.Workspace.write w0 ~addr:0 (bytes_of_string "self");
+  ignore (Vmem.Workspace.commit w0);
+  let info = Vmem.Workspace.update w0 in
+  check_int "own commit not propagation" 0 info.pages_propagated;
+  check_int "base advanced" 1 info.to_version
+
+let test_ws_propagation_counts_remote () =
+  let seg = make_segment () in
+  let w0 = Vmem.Workspace.create seg ~tid:0 in
+  let w1 = Vmem.Workspace.create seg ~tid:1 in
+  Vmem.Workspace.write w1 ~addr:0 (bytes_of_string "a");
+  Vmem.Workspace.write w1 ~addr:20 (bytes_of_string "b");
+  ignore (Vmem.Workspace.commit w1);
+  let info = Vmem.Workspace.update w0 in
+  check_int "two remote pages" 2 info.pages_propagated
+
+let test_ws_empty_commit_noop () =
+  let seg = make_segment () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  let c = Vmem.Workspace.commit ws in
+  check_int "no pages" 0 c.pages_committed;
+  check_int "version unchanged" 0 c.version;
+  check_int "no commit counted" 0 (Vmem.Workspace.stats ws).commits
+
+let test_ws_int64_roundtrip () =
+  let seg = make_segment () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  Vmem.Workspace.write_int64 ws ~addr:12 0x1122334455667788L;
+  Alcotest.(check int64) "roundtrip" 0x1122334455667788L (Vmem.Workspace.read_int64 ws ~addr:12);
+  Vmem.Workspace.write_int ws ~addr:40 (-123456);
+  check_int "int roundtrip" (-123456) (Vmem.Workspace.read_int ws ~addr:40)
+
+let test_ws_int64_across_page_boundary () =
+  let seg = make_segment ~pages:4 ~page_size:8 () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  Vmem.Workspace.write_int64 ws ~addr:5 0x0102030405060708L;
+  Alcotest.(check int64) "spans boundary" 0x0102030405060708L
+    (Vmem.Workspace.read_int64 ws ~addr:5)
+
+let test_ws_out_of_range () =
+  let seg = make_segment ~pages:2 ~page_size:8 () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  let raised =
+    try ignore (Vmem.Workspace.read ws ~addr:12 ~len:8); false
+    with Invalid_argument _ -> true
+  in
+  check_bool "read oob raises" true raised;
+  let raised =
+    try Vmem.Workspace.write ws ~addr:(-1) (bytes_of_string "x"); false
+    with Invalid_argument _ -> true
+  in
+  check_bool "write oob raises" true raised
+
+let test_ws_drop_residents () =
+  let seg = make_segment () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  Vmem.Workspace.write ws ~addr:0 (bytes_of_string "x");
+  ignore (Vmem.Workspace.commit ws);
+  check_int "one resident" 1 (Vmem.Workspace.resident_pages ws);
+  Vmem.Workspace.drop_residents ws;
+  check_int "none resident" 0 (Vmem.Workspace.resident_pages ws);
+  (* Reads fall back to the committed state. *)
+  ignore (Vmem.Workspace.update ws);
+  check_bytes "still reads committed" "x"
+    (string_of_bytes (Vmem.Workspace.read ws ~addr:0 ~len:1))
+
+let test_ws_read_does_not_fault () =
+  let seg = make_segment () in
+  let ws = Vmem.Workspace.create seg ~tid:0 in
+  ignore (Vmem.Workspace.read ws ~addr:0 ~len:64);
+  check_int "reads don't fault" 0 (Vmem.Workspace.stats ws).write_faults;
+  check_int "reads don't make residents" 0 (Vmem.Workspace.resident_pages ws)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference model: a flat byte array with the same write sequence. *)
+let prop_single_thread_matches_flat_memory =
+  QCheck.Test.make ~name:"single-thread workspace behaves like flat memory" ~count:100
+    QCheck.(list (pair (int_bound 111) (string_of_size (Gen.int_range 1 16))))
+    (fun writes ->
+      let seg = Vmem.Segment.create ~pages:8 ~page_size:16 () in
+      let ws = Vmem.Workspace.create seg ~tid:0 in
+      let model = Bytes.make 128 '\000' in
+      List.iter
+        (fun (addr, s) ->
+          let len = min (String.length s) (128 - addr) in
+          if len > 0 then begin
+            let b = Bytes.of_string (String.sub s 0 len) in
+            Vmem.Workspace.write ws ~addr b;
+            Bytes.blit b 0 model addr len
+          end)
+        writes;
+      Vmem.Workspace.read ws ~addr:0 ~len:128 = model)
+
+let prop_commit_update_preserves_content =
+  QCheck.Test.make ~name:"commit+update round-trips content to a fresh reader" ~count:100
+    QCheck.(list (pair (int_bound 111) (string_of_size (Gen.int_range 1 16))))
+    (fun writes ->
+      let seg = Vmem.Segment.create ~pages:8 ~page_size:16 () in
+      let ws = Vmem.Workspace.create seg ~tid:0 in
+      let model = Bytes.make 128 '\000' in
+      List.iter
+        (fun (addr, s) ->
+          let len = min (String.length s) (128 - addr) in
+          if len > 0 then begin
+            let b = Bytes.of_string (String.sub s 0 len) in
+            Vmem.Workspace.write ws ~addr b;
+            Bytes.blit b 0 model addr len
+          end)
+        writes;
+      ignore (Vmem.Workspace.commit ws);
+      let reader = Vmem.Workspace.create seg ~tid:1 in
+      ignore (Vmem.Workspace.update reader);
+      Vmem.Workspace.read reader ~addr:0 ~len:128 = model)
+
+let prop_disjoint_writers_merge_to_union =
+  (* Threads write to disjoint byte ranges (same pages allowed); after all
+     commit, memory is the union regardless of commit order. *)
+  QCheck.Test.make ~name:"disjoint writers merge to union in any commit order" ~count:100
+    QCheck.(pair (list_of_size (Gen.int_range 1 8) (int_bound 15)) bool)
+    (fun (slots, flip) ->
+      let slots = List.sort_uniq compare slots in
+      let seg = Vmem.Segment.create ~pages:2 ~page_size:64 () in
+      (* Even slots -> thread 0, odd -> thread 1; each slot is 8 bytes. *)
+      let w0 = Vmem.Workspace.create seg ~tid:0 in
+      let w1 = Vmem.Workspace.create seg ~tid:1 in
+      let model = Bytes.make 128 '\000' in
+      List.iter
+        (fun slot ->
+          let addr = slot * 8 in
+          let ws = if slot mod 2 = 0 then w0 else w1 in
+          let tag = Bytes.make 8 (Char.chr (65 + slot)) in
+          Vmem.Workspace.write ws ~addr tag;
+          Bytes.blit tag 0 model addr 8)
+        slots;
+      let first, second = if flip then (w1, w0) else (w0, w1) in
+      ignore (Vmem.Workspace.commit first);
+      ignore (Vmem.Workspace.commit second);
+      let reader = Vmem.Workspace.create seg ~tid:2 in
+      ignore (Vmem.Workspace.update reader);
+      Vmem.Workspace.read reader ~addr:0 ~len:128 = model)
+
+let prop_workspace_gc_interplay =
+  (* Interleave writes/commits/updates from two workspaces with aggressive
+     GC at the true min base: contents must match a flat reference model
+     that applies the same committed stores in commit order. *)
+  QCheck.Test.make ~name:"workspaces + gc match a flat commit-order model" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 24) (pair (int_bound 1) (pair (int_bound 30) (int_bound 255))))
+    (fun ops ->
+      let seg = Vmem.Segment.create ~pages:8 ~page_size:16 () in
+      let w = [| Vmem.Workspace.create seg ~tid:0; Vmem.Workspace.create seg ~tid:1 |] in
+      let model = Bytes.make 128 '\000' in
+      (* Writers touch disjoint byte ranges (even/odd 4-byte slots) so the
+         committed image is schedule-independent. *)
+      List.iteri
+        (fun i (who, (slot, v)) ->
+          let ws = w.(who) in
+          let addr = (slot / 2 * 8) + (who * 4) in
+          let buf = Bytes.make 4 (Char.chr v) in
+          Vmem.Workspace.write ws ~addr buf;
+          Bytes.blit buf 0 model addr 4;
+          (* Commit and update every few steps; GC hard after each. *)
+          if i mod 3 = who then begin
+            ignore (Vmem.Workspace.commit ws);
+            ignore (Vmem.Workspace.update ws);
+            let min_base = min (Vmem.Workspace.base w.(0)) (Vmem.Workspace.base w.(1)) in
+            ignore (Vmem.Segment.gc seg ~min_base ~budget:max_int)
+          end)
+        ops;
+      ignore (Vmem.Workspace.commit w.(0));
+      ignore (Vmem.Workspace.commit w.(1));
+      let reader = Vmem.Workspace.create seg ~tid:2 in
+      ignore (Vmem.Workspace.update reader);
+      Vmem.Workspace.read reader ~addr:0 ~len:128 = model)
+
+let prop_gc_never_affects_readers_at_min_base =
+  QCheck.Test.make ~name:"gc preserves all reads at versions >= min_base" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 10) (pair (int_bound 3) (int_bound 255)))
+    (fun commits ->
+      let seg = Vmem.Segment.create ~pages:4 ~page_size:4 () in
+      List.iter
+        (fun (pg, byte) ->
+          let p = Vmem.Page.create ~size:4 in
+          Bytes.fill p 0 4 (Char.chr byte);
+          ignore (Vmem.Segment.commit seg ~committer:0 ~pages:[ (pg, p) ]))
+        commits;
+      let vmax = Vmem.Segment.current_version seg in
+      let min_base = max 0 (vmax - 2) in
+      let snapshot v =
+        List.init 4 (fun i -> Bytes.to_string (Vmem.Segment.read_page seg ~version:v i))
+      in
+      let before = List.init (vmax - min_base + 1) (fun k -> snapshot (min_base + k)) in
+      ignore (Vmem.Segment.gc seg ~min_base ~budget:max_int);
+      let after = List.init (vmax - min_base + 1) (fun k -> snapshot (min_base + k)) in
+      before = after)
+
+let () =
+  Alcotest.run "vmem"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "create zeroed" `Quick test_page_create_zeroed;
+          Alcotest.test_case "copy independent" `Quick test_page_copy_independent;
+          Alcotest.test_case "diff count" `Quick test_page_diff_count;
+          Alcotest.test_case "diff count zero" `Quick test_page_diff_count_zero;
+          Alcotest.test_case "merge applies only changes" `Quick test_page_merge_applies_only_changes;
+          Alcotest.test_case "merge overlap last-writer-wins" `Quick
+            test_page_merge_overlap_last_writer_wins;
+          Alcotest.test_case "merge length mismatch" `Quick test_page_merge_length_mismatch;
+        ] );
+      ( "segment",
+        [
+          Alcotest.test_case "initial state" `Quick test_segment_initial_state;
+          Alcotest.test_case "commit creates versions" `Quick test_segment_commit_creates_versions;
+          Alcotest.test_case "historical reads" `Quick test_segment_historical_reads;
+          Alcotest.test_case "last_mod" `Quick test_segment_last_mod;
+          Alcotest.test_case "duplicate page rejected" `Quick test_segment_duplicate_page_in_commit;
+          Alcotest.test_case "modified_since" `Quick test_segment_modified_since;
+          Alcotest.test_case "modified by others" `Quick test_segment_modified_by_others;
+          Alcotest.test_case "gc reclaims obsolete" `Quick test_segment_gc_reclaims_obsolete;
+          Alcotest.test_case "gc budget" `Quick test_segment_gc_budget;
+          Alcotest.test_case "hash changes" `Quick test_segment_hash_changes;
+          Alcotest.test_case "hash stable under gc" `Quick test_segment_hash_stable_under_gc;
+        ] );
+      ( "workspace",
+        [
+          Alcotest.test_case "read initial zero" `Quick test_ws_read_initial_zero;
+          Alcotest.test_case "reads own writes" `Quick test_ws_reads_own_writes;
+          Alcotest.test_case "isolation before update" `Quick test_ws_isolation_before_update;
+          Alcotest.test_case "own view after commit" `Quick test_ws_commit_then_own_view;
+          Alcotest.test_case "cross-page write/read" `Quick test_ws_cross_page_write_read;
+          Alcotest.test_case "fault once per chunk" `Quick test_ws_write_fault_once_per_chunk;
+          Alcotest.test_case "disjoint byte merge" `Quick test_ws_disjoint_byte_merge;
+          Alcotest.test_case "overlap last-writer-wins" `Quick
+            test_ws_overlapping_merge_last_writer_wins;
+          Alcotest.test_case "merge preserves remote bytes" `Quick
+            test_ws_merge_preserves_untouched_remote_bytes;
+          Alcotest.test_case "update with dirty raises" `Quick test_ws_update_with_dirty_raises;
+          Alcotest.test_case "update refreshes residents" `Quick test_ws_update_refreshes_residents;
+          Alcotest.test_case "propagation excludes own" `Quick
+            test_ws_propagation_excludes_own_commits;
+          Alcotest.test_case "propagation counts remote" `Quick test_ws_propagation_counts_remote;
+          Alcotest.test_case "empty commit noop" `Quick test_ws_empty_commit_noop;
+          Alcotest.test_case "int64 roundtrip" `Quick test_ws_int64_roundtrip;
+          Alcotest.test_case "int64 across boundary" `Quick test_ws_int64_across_page_boundary;
+          Alcotest.test_case "out of range" `Quick test_ws_out_of_range;
+          Alcotest.test_case "drop residents" `Quick test_ws_drop_residents;
+          Alcotest.test_case "reads don't fault" `Quick test_ws_read_does_not_fault;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_single_thread_matches_flat_memory;
+          QCheck_alcotest.to_alcotest prop_commit_update_preserves_content;
+          QCheck_alcotest.to_alcotest prop_disjoint_writers_merge_to_union;
+          QCheck_alcotest.to_alcotest prop_gc_never_affects_readers_at_min_base;
+          QCheck_alcotest.to_alcotest prop_workspace_gc_interplay;
+        ] );
+    ]
