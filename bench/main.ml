@@ -105,6 +105,7 @@ let run_micro () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -112,35 +113,58 @@ let run_micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "%-55s %12.1f ns/run\n%!" name est
+          | Some [ est ] ->
+              estimates := (name, est) :: !estimates;
+              Printf.printf "%-55s %12.1f ns/run\n%!" name est
           | Some _ | None -> Printf.printf "%-55s (no estimate)\n%!" name)
         analyzed)
     (micro_tests ());
-  print_newline ()
+  print_newline ();
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.String "micro");
+      ("title", Obs.Json.String "Bechamel microbenchmarks of the core primitives");
+      ( "estimates_ns_per_run",
+        Obs.Json.Obj
+          (List.rev_map (fun (name, est) -> (name, Obs.Json.Float est)) !estimates) );
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Every section also drops a machine-readable BENCH_<section>.json next
+   to the textual output, so downstream tooling need not scrape tables. *)
+let fig f =
+  let out = f () in
+  Figures.Fig_output.print out;
+  Figures.Fig_output.to_json out
+
 let run_section ~threads name =
-  match name with
-  | "fig10" -> Figures.Fig_output.print (Figures.Fig10.run ~threads ())
-  | "fig11" -> Figures.Fig_output.print (Figures.Fig11.run ~threads ())
-  | "fig12" -> Figures.Fig_output.print (Figures.Fig12.run ~threads ())
-  | "fig13" -> Figures.Fig_output.print (Figures.Fig13.run ())
-  | "fig14" -> Figures.Fig_output.print (Figures.Fig14.run ())
-  | "fig15" -> Figures.Fig_output.print (Figures.Fig15.run ())
-  | "fig16" -> Figures.Fig_output.print (Figures.Fig16.run ())
-  | "determinism" -> Figures.Fig_output.print (Figures.Determinism_report.run ())
-  | "tso" -> Figures.Fig_output.print (Figures.Tso_report.run ())
-  | "climit" -> Figures.Fig_output.print (Figures.Climit_study.run ())
-  | "soundness" -> Figures.Fig_output.print (Figures.Soundness_study.run ())
-  | "locking" -> Figures.Fig_output.print (Figures.Locking_study.run ())
-  | "chunking" -> Figures.Fig_output.print (Figures.Chunking_study.run ())
-  | "micro" -> run_micro ()
-  | other ->
-      Printf.eprintf "unknown section %S; available: %s\n" other (String.concat " " section_names);
-      exit 2
+  let json =
+    match name with
+    | "fig10" -> fig (fun () -> Figures.Fig10.run ~threads ())
+    | "fig11" -> fig (fun () -> Figures.Fig11.run ~threads ())
+    | "fig12" -> fig (fun () -> Figures.Fig12.run ~threads ())
+    | "fig13" -> fig (fun () -> Figures.Fig13.run ())
+    | "fig14" -> fig (fun () -> Figures.Fig14.run ())
+    | "fig15" -> fig (fun () -> Figures.Fig15.run ())
+    | "fig16" -> fig (fun () -> Figures.Fig16.run ())
+    | "determinism" -> fig (fun () -> Figures.Determinism_report.run ())
+    | "tso" -> fig (fun () -> Figures.Tso_report.run ())
+    | "climit" -> fig (fun () -> Figures.Climit_study.run ())
+    | "soundness" -> fig (fun () -> Figures.Soundness_study.run ())
+    | "locking" -> fig (fun () -> Figures.Locking_study.run ())
+    | "chunking" -> fig (fun () -> Figures.Chunking_study.run ())
+    | "micro" -> run_micro ()
+    | other ->
+        Printf.eprintf "unknown section %S; available: %s\n" other
+          (String.concat " " section_names);
+        exit 2
+  in
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  Obs.Json.to_file file json;
+  Printf.printf "[%s -> %s]\n" name file
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

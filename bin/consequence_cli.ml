@@ -2,6 +2,7 @@
 
    Subcommands:
      run       execute one benchmark under one runtime and print metrics
+     trace     execute one benchmark and export a Chrome trace-event JSON
      bench     list the benchmark suite
      litmus    run a litmus test against the TSO/SC models
      lrc       run the Fig 16 memory-propagation study on one benchmark
@@ -51,25 +52,99 @@ let find_program name =
 (* --- run -------------------------------------------------------------- *)
 
 let run_cmd =
-  let action runtime threads seed name breakdown =
+  let action runtime threads seed name breakdown metrics json =
     match find_program name with
     | Error e ->
         prerr_endline e;
         exit 1
     | Ok program ->
         let r = Runtime.Run.run runtime ~seed ~nthreads:threads program in
-        Format.printf "%a@." Stats.Run_result.pp_summary r;
-        if breakdown then begin
-          Format.printf "@.time breakdown (all threads):@.";
-          Format.printf "%a@." Stats.Breakdown.pp (Stats.Run_result.aggregate_breakdown r)
+        if json then print_endline (Obs.Json.to_string (Stats.Run_result.to_json r))
+        else begin
+          Format.printf "%a@." Stats.Run_result.pp_summary r;
+          if breakdown then begin
+            Format.printf "@.time breakdown (all threads):@.";
+            Format.printf "%a@." Stats.Breakdown.pp (Stats.Run_result.aggregate_breakdown r)
+          end;
+          if metrics then begin
+            Format.printf "@.metrics:@.";
+            Format.printf "%a@." Obs.Metrics.pp r.Stats.Run_result.metrics
+          end
         end
   in
   let breakdown_arg =
     Arg.(value & flag & info [ "b"; "breakdown" ] ~doc:"Print the Fig 15 time breakdown.")
   in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "m"; "metrics" ]
+          ~doc:"Print the full metrics registry (all counters and histograms).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the whole run result as one JSON document instead of text.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute one benchmark under one runtime.")
-    Term.(const action $ runtime_arg $ threads_arg $ seed_arg $ benchmark_arg $ breakdown_arg)
+    Term.(
+      const action $ runtime_arg $ threads_arg $ seed_arg $ benchmark_arg $ breakdown_arg
+      $ metrics_arg $ json_arg)
+
+(* --- trace ------------------------------------------------------------ *)
+
+let trace_cmd =
+  let action runtime threads seed name out metrics_out =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok program ->
+        let tracer = Obs.Tracer.create () in
+        let r =
+          Runtime.Run.run runtime ~seed ~nthreads:threads ~obs:(Obs.Tracer.sink tracer)
+            program
+        in
+        let process_name =
+          Printf.sprintf "%s / %s (%d threads, seed %d)" name (Runtime.Run.name runtime)
+            threads seed
+        in
+        (try Obs.Chrome_trace.write_file ~process_name out tracer
+         with Sys_error e ->
+           prerr_endline e;
+           exit 1);
+        Printf.printf "%s: %d spans + %d instants on %d tracks -> %s\n" process_name
+          (Obs.Tracer.span_count tracer)
+          (Obs.Tracer.instant_count tracer)
+          (List.length (Obs.Tracer.tids tracer))
+          out;
+        (match metrics_out with
+        | Some file ->
+            Obs.Json.to_file file (Stats.Run_result.to_json r);
+            Printf.printf "metrics -> %s\n" file
+        | None -> ());
+        Printf.printf "witness %s\n" (Stats.Run_result.deterministic_witness r)
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file for the Chrome trace-event JSON (load in Perfetto).")
+  in
+  let metrics_out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Also write the run result (including metrics) as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Execute one benchmark and export the span timeline as Chrome trace-event JSON.")
+    Term.(
+      const action $ runtime_arg $ threads_arg $ seed_arg $ benchmark_arg $ out_arg
+      $ metrics_out_arg)
 
 (* --- bench ------------------------------------------------------------ *)
 
@@ -232,4 +307,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; bench_cmd; litmus_cmd; lrc_cmd; check_cmd; schedule_cmd; stress_cmd ]))
+          [
+            run_cmd;
+            trace_cmd;
+            bench_cmd;
+            litmus_cmd;
+            lrc_cmd;
+            check_cmd;
+            schedule_cmd;
+            stress_cmd;
+          ]))

@@ -20,3 +20,27 @@ let render t =
   Buffer.contents buf
 
 let print t = print_string (render t)
+
+let to_json t =
+  let str s = Obs.Json.String s in
+  Obs.Json.Obj
+    [
+      ("id", str t.id);
+      ("title", str t.title);
+      ( "tables",
+        Obs.Json.List
+          (List.map
+             (fun (caption, table) ->
+               Obs.Json.Obj
+                 [
+                   ("caption", str caption);
+                   ("columns", Obs.Json.List (List.map str (Stats.Table.columns table)));
+                   ( "rows",
+                     Obs.Json.List
+                       (List.map
+                          (fun row -> Obs.Json.List (List.map str row))
+                          (Stats.Table.rows table)) );
+                 ])
+             t.tables) );
+      ("notes", Obs.Json.List (List.map str t.notes));
+    ]

@@ -12,3 +12,8 @@ val render : t -> string
 
 val print : t -> unit
 (** [render] to stdout. *)
+
+val to_json : t -> Obs.Json.t
+(** Machine-readable form: id, title, every table as columns + string
+    rows, and the notes — what the bench harness writes to
+    [BENCH_<section>.json]. *)

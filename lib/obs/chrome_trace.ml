@@ -1,0 +1,77 @@
+let pid = 1
+
+let us_of_ns ns = float_of_int ns /. 1000.0
+
+let span_event (s : Span.t) =
+  let base =
+    [
+      ("name", Json.String s.Span.name);
+      ("cat", Json.String (Span.category_name s.Span.cat));
+      ("ph", Json.String "X");
+      ("ts", Json.Float (us_of_ns s.Span.t0));
+      ("dur", Json.Float (us_of_ns (Span.duration s)));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int s.Span.tid);
+    ]
+  in
+  let args = List.map (fun (k, v) -> (k, Json.Int v)) s.Span.args in
+  Json.Obj (if args = [] then base else base @ [ ("args", Json.Obj args) ])
+
+let instant_event (i : Span.instant) =
+  Json.Obj
+    [
+      ("name", Json.String i.Span.iname);
+      ("cat", Json.String (Span.category_name i.Span.icat));
+      ("ph", Json.String "i");
+      ("s", Json.String "t");
+      ("ts", Json.Float (us_of_ns i.Span.itime));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int i.Span.itid);
+    ]
+
+let metadata_event ~name ~tid ~value =
+  let base =
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("args", Json.Obj [ ("name", Json.String value) ]);
+    ]
+  in
+  Json.Obj (match tid with None -> base | Some t -> base @ [ ("tid", Json.Int t) ])
+
+let of_events ?(process_name = "consequence") ~spans ~instants () =
+  let module S = Set.Make (Int) in
+  let tids =
+    let s = List.fold_left (fun acc (sp : Span.t) -> S.add sp.Span.tid acc) S.empty spans in
+    let s = List.fold_left (fun acc (i : Span.instant) -> S.add i.Span.itid acc) s instants in
+    S.elements s
+  in
+  let meta =
+    metadata_event ~name:"process_name" ~tid:None ~value:process_name
+    :: List.map
+         (fun tid ->
+           metadata_event ~name:"thread_name" ~tid:(Some tid)
+             ~value:(if tid = 0 then "core-0 (main)" else Printf.sprintf "core-%d" tid))
+         tids
+  in
+  let events =
+    meta @ List.map span_event spans @ List.map instant_event instants
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("clock", Json.String "simulated-ns");
+            ("spans", Json.Int (List.length spans));
+            ("instants", Json.Int (List.length instants));
+          ] );
+    ]
+
+let of_tracer ?process_name tr =
+  of_events ?process_name ~spans:(Tracer.spans tr) ~instants:(Tracer.instants tr) ()
+
+let write_file ?process_name path tr = Json.to_file path (of_tracer ?process_name tr)

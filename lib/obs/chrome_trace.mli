@@ -1,0 +1,18 @@
+(** Chrome trace-event JSON export (the JSON Array / JSON Object format
+    consumed by Perfetto, chrome://tracing and speedscope).
+
+    Each simulated thread becomes one track ([tid]) of a single process;
+    spans become complete events ([ph = "X"]) and instants become
+    instant events ([ph = "i"], thread scope).  Timestamps are exported
+    in microseconds (the unit the format mandates) as fractional values,
+    so the simulated-nanosecond resolution is preserved. *)
+
+val of_events :
+  ?process_name:string -> spans:Span.t list -> instants:Span.instant list -> unit -> Json.t
+(** The full document: [{"traceEvents": [...], "displayTimeUnit": "ms",
+    "otherData": {...}}], with one metadata event naming the process and
+    one naming each thread track. *)
+
+val of_tracer : ?process_name:string -> Tracer.t -> Json.t
+
+val write_file : ?process_name:string -> string -> Tracer.t -> unit

@@ -1,0 +1,16 @@
+type t = { span : Span.t -> unit; instant : Span.instant -> unit }
+
+let null = { span = (fun _ -> ()); instant = (fun _ -> ()) }
+let is_null t = t == null
+
+let tee a b =
+  {
+    span =
+      (fun s ->
+        a.span s;
+        b.span s);
+    instant =
+      (fun i ->
+        a.instant i;
+        b.instant i);
+  }

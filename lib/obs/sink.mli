@@ -1,0 +1,23 @@
+(** Consumer interface for runtime timeline events.
+
+    This generalizes the [Runtime.Rt_event.observer] callback: where the
+    observer receives only the happens-before edges (commit / release /
+    acquire), a sink additionally receives every timed span the runtime
+    produces.  Runtimes accept a sink as an optional argument and call it
+    synchronously, in deterministic (simulated-time) order; the default
+    {!null} sink makes instrumentation free when tracing is off.
+
+    Sinks must be passive: a sink that mutates runtime or engine state
+    would break the determinism-neutrality invariant that
+    [test_obs]/[test_runtime] enforce. *)
+
+type t = { span : Span.t -> unit; instant : Span.instant -> unit }
+
+val null : t
+(** Drops everything.  Runtimes compare against this physically to skip
+    even the event-record allocation on hot paths. *)
+
+val is_null : t -> bool
+
+val tee : t -> t -> t
+(** Duplicate every event to two sinks (first, then second). *)

@@ -1,0 +1,36 @@
+type category =
+  | Chunk
+  | Token_hold
+  | Determ_wait
+  | Lock_wait
+  | Barrier_wait
+  | Commit
+  | Update
+  | Fork
+  | Join
+  | Sync
+
+let category_name = function
+  | Chunk -> "chunk"
+  | Token_hold -> "token_hold"
+  | Determ_wait -> "determ_wait"
+  | Lock_wait -> "lock_wait"
+  | Barrier_wait -> "barrier_wait"
+  | Commit -> "commit"
+  | Update -> "update"
+  | Fork -> "fork"
+  | Join -> "join"
+  | Sync -> "sync"
+
+type t = {
+  name : string;
+  cat : category;
+  tid : int;
+  t0 : int;
+  t1 : int;
+  args : (string * int) list;
+}
+
+type instant = { iname : string; icat : category; itid : int; itime : int }
+
+let duration t = t.t1 - t.t0

@@ -1,0 +1,39 @@
+(** Timeline primitives: spans and instants on the simulated clock.
+
+    A span is a closed interval of simulated time attributed to one
+    simulated thread (= one core, since the engine pins each fiber to its
+    own core) and one activity category — the timeline analogue of a
+    {!Stats.Breakdown} bucket.  An instant is a zero-duration marker
+    (a sync operation, a commit becoming visible).
+
+    All times are simulated nanoseconds as reported by [Sim.Engine.now];
+    producing these values reads the clock but never advances it, which
+    is what keeps instrumentation determinism-neutral. *)
+
+type category =
+  | Chunk  (** user-code execution between coordination points *)
+  | Token_hold  (** holding the global token / serial turn *)
+  | Determ_wait  (** waiting to become GMIC / for the turn / at the fence *)
+  | Lock_wait  (** parked on a lock, condition variable or join *)
+  | Barrier_wait  (** parked at an application barrier *)
+  | Commit  (** publishing dirty pages *)
+  | Update  (** pulling remote versions into the local view *)
+  | Fork  (** thread creation / pool recycling *)
+  | Join  (** joining a child thread *)
+  | Sync  (** instantaneous synchronization markers *)
+
+val category_name : category -> string
+(** Stable lower-snake-case name (used as the Chrome trace [cat] field). *)
+
+type t = {
+  name : string;
+  cat : category;
+  tid : int;
+  t0 : int;  (** start, simulated ns *)
+  t1 : int;  (** end, simulated ns; [t1 >= t0] *)
+  args : (string * int) list;  (** numeric attributes (pages, versions, lengths) *)
+}
+
+type instant = { iname : string; icat : category; itid : int; itime : int }
+
+val duration : t -> int

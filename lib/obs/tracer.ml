@@ -1,0 +1,41 @@
+type t = {
+  mutable spans_rev : Span.t list;
+  mutable instants_rev : Span.instant list;
+  mutable nspans : int;
+  mutable ninstants : int;
+}
+
+let create () = { spans_rev = []; instants_rev = []; nspans = 0; ninstants = 0 }
+
+let sink t =
+  {
+    Sink.span =
+      (fun s ->
+        t.spans_rev <- s :: t.spans_rev;
+        t.nspans <- t.nspans + 1);
+    instant =
+      (fun i ->
+        t.instants_rev <- i :: t.instants_rev;
+        t.ninstants <- t.ninstants + 1);
+  }
+
+let spans t = List.rev t.spans_rev
+let instants t = List.rev t.instants_rev
+let span_count t = t.nspans
+let instant_count t = t.ninstants
+
+let clear t =
+  t.spans_rev <- [];
+  t.instants_rev <- [];
+  t.nspans <- 0;
+  t.ninstants <- 0
+
+let tids t =
+  let module S = Set.Make (Int) in
+  let s =
+    List.fold_left (fun acc (sp : Span.t) -> S.add sp.Span.tid acc) S.empty t.spans_rev
+  in
+  let s =
+    List.fold_left (fun acc (i : Span.instant) -> S.add i.Span.itid acc) s t.instants_rev
+  in
+  S.elements s

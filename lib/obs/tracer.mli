@@ -1,0 +1,27 @@
+(** In-memory recording sink.
+
+    Buffers every span and instant in arrival order (which, for the
+    runtimes, is deterministic simulated-event order — not sorted by
+    start time, since spans are emitted when they {e close}).  The
+    buffers feed {!Chrome_trace} and the tests. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> Sink.t
+(** The recording sink.  One tracer can back several runs; call
+    {!clear} in between if separation is wanted. *)
+
+val spans : t -> Span.t list
+(** In arrival order. *)
+
+val instants : t -> Span.instant list
+(** In arrival order. *)
+
+val span_count : t -> int
+val instant_count : t -> int
+val clear : t -> unit
+
+val tids : t -> int list
+(** Distinct thread ids seen, ascending — the tracks of the trace. *)

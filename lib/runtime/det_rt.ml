@@ -47,6 +47,9 @@ type thread_state = {
          the same lock do not pollute each other. *)
   mutable post_site_instr : int;
   post_ewma : (int, float) Hashtbl.t;
+  (* Observability bookkeeping (never read by the algorithms) *)
+  mutable token_t0 : int;  (** time the global was acquired; -1 = not held *)
+  mutable chunk_open_ns : int;  (** time the current chunk opened *)
   mutable serial_sticky : bool;
       (* Synchronous mode: this thread finished a sync op and still holds
          its serial turn; consecutive sync ops with no intervening user
@@ -98,6 +101,8 @@ type t = {
   mutable serial_queue : int list;
   mutable serial_acquisitions : int;
   observer : Rt_event.observer option;
+  obs : Obs.Sink.t;
+  metrics : Obs.Metrics.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -112,11 +117,40 @@ let charge rt th cat ns =
     Sim.Engine.advance rt.eng ns
   end
 
+(* Operation-family counter key for a sync label like "lock:3". *)
+let label_family label =
+  match String.index_opt label ':' with
+  | Some i -> String.sub label 0 i
+  | None -> label
+
 let record_sync rt th label =
   rt.sync_ops <- rt.sync_ops + 1;
+  Obs.Metrics.incr rt.metrics ("op:" ^ label_family label);
   Sim.Trace.record rt.sync_trace ~time:(Sim.Engine.now rt.eng) ~tid:th.tid ~label
 
-let emit rt ev = match rt.observer with Some f -> f ev | None -> ()
+(* Observability helpers.  These read the simulated clock but never
+   advance it, block, or touch algorithm state: instrumented and bare
+   runs must stay cycle-identical (enforced by the neutrality tests). *)
+
+let tracing rt = not (Obs.Sink.is_null rt.obs)
+
+let span rt ~cat ~name ~tid ~t0 ?(args = []) () =
+  if tracing rt then
+    rt.obs.Obs.Sink.span
+      { Obs.Span.name; cat; tid; t0; t1 = Sim.Engine.now rt.eng; args }
+
+let emit rt ev =
+  (match rt.observer with Some f -> f ev | None -> ());
+  if tracing rt then begin
+    let iname, itid =
+      match ev with
+      | Rt_event.Commit { tid; version; _ } -> (Printf.sprintf "commit:v%d" version, tid)
+      | Rt_event.Release { tid; obj } -> ("rel:" ^ obj, tid)
+      | Rt_event.Acquire { tid; obj } -> ("acq:" ^ obj, tid)
+    in
+    rt.obs.Obs.Sink.instant
+      { Obs.Span.iname; icat = Obs.Span.Sync; itid; itime = Sim.Engine.now rt.eng }
+  end
 
 let mutex_of rt id =
   let id = match rt.cfg.lock_granularity with Config.Single_global -> 0 | Config.Per_lock -> id in
@@ -248,6 +282,7 @@ let counter_read rt th =
    exception — see [barrier_wait]. *)
 let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
   if ci.pages_committed > 0 then begin
+    let t0 = Sim.Engine.now rt.eng in
     let c = rt.costs in
     let ns =
       c.Cost_model.commit_base_ns
@@ -255,19 +290,33 @@ let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
       + (ci.pages_merged * c.Cost_model.page_merge_ns)
     in
     charge rt th Bd.Commit (int_of_float (float_of_int ns *. rt.cfg.commit_cost_mult));
+    Obs.Metrics.observe rt.metrics "commit_ns" (Sim.Engine.now rt.eng - t0);
+    Obs.Metrics.observe rt.metrics "commit_pages" ci.pages_committed;
+    span rt ~cat:Obs.Span.Commit
+      ~name:(Printf.sprintf "commit:v%d" ci.version)
+      ~tid:th.tid ~t0
+      ~args:[ ("pages", ci.pages_committed); ("merged", ci.pages_merged) ]
+      ();
     record_sync rt th (Printf.sprintf "commit:%d" ci.version);
     emit rt (Rt_event.Commit { tid = th.tid; version = ci.version; pages = ci.committed_pages })
   end
 
 let charge_update rt th (ui : Vmem.Workspace.update_info) =
   if ui.to_version > ui.from_version then begin
+    let t0 = Sim.Engine.now rt.eng in
     let c = rt.costs in
     let ns =
       c.Cost_model.update_base_ns
       + (ui.pages_propagated * c.Cost_model.page_map_ns)
       + (ui.pages_refreshed * c.Cost_model.page_refresh_ns)
     in
-    charge rt th Bd.Update ns
+    charge rt th Bd.Update ns;
+    Obs.Metrics.observe rt.metrics "update_ns" (Sim.Engine.now rt.eng - t0);
+    span rt ~cat:Obs.Span.Update
+      ~name:(Printf.sprintf "update:v%d-v%d" ui.from_version ui.to_version)
+      ~tid:th.tid ~t0
+      ~args:[ ("pages", ui.pages_propagated); ("refreshed", ui.pages_refreshed) ]
+      ()
   end
 
 (* The paper's convCommitAndUpdateMem(). *)
@@ -353,9 +402,18 @@ let acquire_global rt th =
     end
   end
   else Tok.wait rt.token ~tid:th.tid;
-  Bd.add th.bd Bd.Determ_wait (Sim.Engine.now rt.eng - t0)
+  let waited = Sim.Engine.now rt.eng - t0 in
+  Bd.add th.bd Bd.Determ_wait waited;
+  Obs.Metrics.observe rt.metrics "determ_wait_ns" waited;
+  if waited > 0 then span rt ~cat:Obs.Span.Determ_wait ~name:"determ-wait" ~tid:th.tid ~t0 ();
+  th.token_t0 <- Sim.Engine.now rt.eng
 
 let release_global rt th =
+  if th.token_t0 >= 0 then begin
+    Obs.Metrics.observe rt.metrics "token_hold_ns" (Sim.Engine.now rt.eng - th.token_t0);
+    span rt ~cat:Obs.Span.Token_hold ~name:"token" ~tid:th.tid ~t0:th.token_t0 ();
+    th.token_t0 <- -1
+  end;
   if uses_fence rt then th.serial_sticky <- true
   else Tok.release rt.token ~tid:th.tid
 
@@ -372,18 +430,27 @@ let flush_sticky rt th =
 (* ------------------------------------------------------------------ *)
 
 (* End-of-chunk bookkeeping common to every coordination entry. *)
+let observe_chunk rt th =
+  let chunk_len = th.instr_retired - th.chunk_start_instr in
+  Obs.Metrics.observe rt.metrics "chunk_instr" chunk_len;
+  if chunk_len > 0 then
+    span rt ~cat:Obs.Span.Chunk ~name:"chunk" ~tid:th.tid ~t0:th.chunk_open_ns
+      ~args:[ ("instr", chunk_len) ]
+      ()
+
 let close_chunk rt th =
   let chunk_len = th.instr_retired - th.chunk_start_instr in
   th.chunk_ewma <- ewma rt.cfg.ewma_alpha (float_of_int chunk_len) th.chunk_ewma;
+  observe_chunk rt th;
   counter_read rt th;
   Lc.pause th.clock
 
 let open_chunk rt th =
   Lc.resume th.clock;
   th.chunk_start_instr <- th.instr_retired;
+  th.chunk_open_ns <- Sim.Engine.now rt.eng;
   Ofp.begin_chunk th.ofp;
-  th.next_overflow_in <- 0;
-  ignore rt
+  th.next_overflow_in <- 0
 
 (* The paper's clockPause(); waitToken() prologue.  A thread inside a
    coarsened chunk already holds the global: its hold converts directly
@@ -443,11 +510,13 @@ let begin_coarsen rt th =
 let end_coarsen rt th =
   assert th.coarsen_holding;
   th.coarsen_holding <- false;
+  observe_chunk rt th;
   counter_read rt th;
   commit_and_update rt th;
   release_global rt th;
   charge rt th Bd.Library rt.costs.Cost_model.token_ns;
   th.chunk_start_instr <- th.instr_retired;
+  th.chunk_open_ns <- Sim.Engine.now rt.eng;
   Ofp.begin_chunk th.ofp;
   th.next_overflow_in <- 0
 
@@ -546,7 +615,15 @@ let park rt th ~category ~reason ~ready =
   while not (ready ()) do
     Sim.Engine.block rt.eng ~reason
   done;
-  Bd.add th.bd category (Sim.Engine.now rt.eng - t0);
+  let waited = Sim.Engine.now rt.eng - t0 in
+  Bd.add th.bd category waited;
+  (let scat, key =
+     match category with
+     | Bd.Barrier_wait -> (Obs.Span.Barrier_wait, "barrier_wait_ns")
+     | _ -> (Obs.Span.Lock_wait, "lock_wait_ns")
+   in
+   Obs.Metrics.observe rt.metrics key waited;
+   if waited > 0 then span rt ~cat:scat ~name:reason ~tid:th.tid ~t0 ());
   (* Normally the granter already cleared these (and fast-forwarded our
      clock); when the grant landed before we even blocked — ready() was
      true on entry — restore them ourselves.  No simulated time passes in
@@ -770,9 +847,17 @@ let barrier_wait rt th bid =
         overlap. *)
      let ci = Vmem.Workspace.commit th.ws in
      if ci.Vmem.Workspace.pages_committed > 0 then begin
+       let t0 = Sim.Engine.now rt.eng in
        charge rt th Bd.Commit
          (c.Cost_model.commit_base_ns
          + (ci.Vmem.Workspace.pages_committed * c.Cost_model.barrier_phase1_page_ns));
+       Obs.Metrics.observe rt.metrics "commit_ns" (Sim.Engine.now rt.eng - t0);
+       Obs.Metrics.observe rt.metrics "commit_pages" ci.Vmem.Workspace.pages_committed;
+       span rt ~cat:Obs.Span.Commit
+         ~name:(Printf.sprintf "commit-phase1:v%d" ci.Vmem.Workspace.version)
+         ~tid:th.tid ~t0
+         ~args:[ ("pages", ci.Vmem.Workspace.pages_committed) ]
+         ();
        record_sync rt th (Printf.sprintf "commit:%d" ci.Vmem.Workspace.version);
        emit rt
          (Rt_event.Commit
@@ -786,29 +871,11 @@ let barrier_wait rt th bid =
        (ci.Vmem.Workspace.pages_committed * c.Cost_model.page_commit_ns)
        + (ci.Vmem.Workspace.pages_merged * c.Cost_model.page_merge_ns)
    end
-   else begin
+   else
      (* Serial barrier commit (DWC-style, paper section 5.2): the entire
         page volume is installed while holding the turn, so concurrent
         barrier committers serialize. *)
-     let ci = Vmem.Workspace.commit th.ws in
-     if ci.Vmem.Workspace.pages_committed > 0 then begin
-       let c = rt.costs in
-       let ns =
-         c.Cost_model.commit_base_ns
-         + (ci.Vmem.Workspace.pages_committed * c.Cost_model.page_commit_ns)
-         + (ci.Vmem.Workspace.pages_merged * c.Cost_model.page_merge_ns)
-       in
-       charge rt th Bd.Commit (int_of_float (float_of_int ns *. rt.cfg.commit_cost_mult));
-       record_sync rt th (Printf.sprintf "commit:%d" ci.Vmem.Workspace.version);
-       emit rt
-         (Rt_event.Commit
-            {
-              tid = th.tid;
-              version = ci.Vmem.Workspace.version;
-              pages = ci.Vmem.Workspace.committed_pages;
-            })
-     end
-   end);
+     charge_commit rt th (Vmem.Workspace.commit th.ws));
   th.since_commit <- 0;
   record_sync rt th (Printf.sprintf "barrier:%d" bid);
   emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_barrier bid });
@@ -828,7 +895,12 @@ let barrier_wait rt th bid =
     Lc.depart th.clock;
     Tok.poke rt.token
   end;
-  charge rt th Bd.Commit (int_of_float (float_of_int !phase2_pages *. rt.cfg.commit_cost_mult));
+  (let p2_t0 = Sim.Engine.now rt.eng in
+   charge rt th Bd.Commit (int_of_float (float_of_int !phase2_pages *. rt.cfg.commit_cost_mult));
+   if !phase2_pages > 0 then begin
+     Obs.Metrics.observe rt.metrics "commit_ns" (Sim.Engine.now rt.eng - p2_t0);
+     span rt ~cat:Obs.Span.Commit ~name:"commit-phase2" ~tid:th.tid ~t0:p2_t0 ()
+   end);
   if last then begin
     let others = List.filter (fun tid -> tid <> th.tid) b.arrived_tids in
     b.arrived_tids <- [];
@@ -967,6 +1039,8 @@ and new_thread_state rt ~tid ~name ~inherit_count =
     post_site = None;
     post_site_instr = 0;
     post_ewma = Hashtbl.create 8;
+    token_t0 = -1;
+    chunk_open_ns = Sim.Engine.now rt.eng;
     serial_sticky = false;
   }
 
@@ -987,6 +1061,7 @@ and thread_exit rt th =
   flush_sticky rt th
 
 and spawn_thread rt th ?name body =
+  let fork_t0 = Sim.Engine.now rt.eng in
   enter_coordination rt th;
   commit_and_update rt th;
   let child_tid = rt.next_tid in
@@ -1017,11 +1092,17 @@ and spawn_thread rt th ?name body =
   in
   assert (fiber_id = child_tid);
   record_sync rt th (Printf.sprintf "spawn:%d" child_tid);
+  span rt ~cat:Obs.Span.Fork
+    ~name:(Printf.sprintf "spawn:%d" child_tid)
+    ~tid:th.tid ~t0:fork_t0
+    ~args:[ ("child", child_tid) ]
+    ();
   Tok.poke rt.token;
   leave_coordination rt th;
   child_tid
 
 and join_thread rt th target_tid =
+  let join_t0 = Sim.Engine.now rt.eng in
   (* Parking while holding a coarsened global would deadlock the system;
      end the hold before waiting for the child. *)
   if th.coarsen_holding then end_coarsen rt th;
@@ -1047,13 +1128,17 @@ and join_thread rt th target_tid =
   commit_and_update rt th;
   record_sync rt th (Printf.sprintf "join:%d" target_tid);
   emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_thread target_tid ^ ":exit" });
+  span rt ~cat:Obs.Span.Join
+    ~name:(Printf.sprintf "join:%d" target_tid)
+    ~tid:th.tid ~t0:join_t0 ();
   leave_coordination rt th
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer (program : Api.t) =
+let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs = Obs.Sink.null)
+    (program : Api.t) =
   let nthreads = match nthreads with Some n -> n | None -> program.Api.default_threads in
   let eng = Sim.Engine.create ~seed () in
   let seg =
@@ -1094,6 +1179,8 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer (progr
       serial_queue = [];
       serial_acquisitions = 0;
       observer;
+      obs;
+      metrics = Obs.Metrics.create ();
     }
   in
   let main_state = new_thread_state rt ~tid:0 ~name:"main" ~inherit_count:0 in
@@ -1147,4 +1234,5 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer (progr
       List.map
         (fun (e : Sim.Trace.event) -> (e.Sim.Trace.time, e.Sim.Trace.tid, e.Sim.Trace.label))
         (Sim.Trace.events rt.sync_trace);
+    metrics = Obs.Metrics.snapshot rt.metrics;
   }

@@ -27,6 +27,7 @@ val run :
   ?seed:int ->
   ?nthreads:int ->
   ?observer:Rt_event.observer ->
+  ?obs:Obs.Sink.t ->
   Api.t ->
   Stats.Run_result.t
 (** [run cfg program] executes the program to completion.  [seed]
@@ -34,7 +35,12 @@ val run :
     deterministic configurations produce the same witnesses for every
     seed.  [nthreads] overrides the program's default worker count.
     [observer] receives happens-before instrumentation events in global
-    order (used by the Fig 16 LRC study).
+    order (used by the Fig 16 LRC study).  [obs] (default
+    {!Obs.Sink.null}) receives timing spans — token holds, determ /
+    lock / barrier waits, chunks, commits, updates, fork / join — keyed
+    to the simulated clock.  Instrumentation is determinism-neutral: an
+    instrumented run produces the same witnesses {e and} the same
+    [wall_ns] as a bare run (enforced by the neutrality tests).
 
     @raise Sim.Engine.Deadlock if the program deadlocks.
     @raise Sim.Engine.Stuck if the program exceeds the event budget,

@@ -37,6 +37,8 @@ type t = {
   out_trace : Sim.Trace.t;
   mutable next_tid : int;
   mutable sync_ops : int;
+  obs : Obs.Sink.t;
+  metrics : Obs.Metrics.t;
 }
 
 let thread rt tid = Hashtbl.find rt.threads tid
@@ -47,9 +49,26 @@ let charge rt th cat ns =
     Sim.Engine.advance rt.eng ns
   end
 
+let label_family label =
+  match String.index_opt label ':' with
+  | Some i -> String.sub label 0 i
+  | None -> label
+
 let record_sync rt th label =
   rt.sync_ops <- rt.sync_ops + 1;
+  Obs.Metrics.incr rt.metrics ("op:" ^ label_family label);
   Sim.Trace.record rt.sync_trace ~time:(Sim.Engine.now rt.eng) ~tid:th.tid ~label
+
+(* Wait instrumentation shared by lock / cond / barrier / join blocking
+   paths: record the wait in the breakdown, the metrics histogram, and —
+   when a sink is attached — as a span. *)
+let charge_wait rt th ~category ~scat ~key ~name ~t0 =
+  let waited = Sim.Engine.now rt.eng - t0 in
+  Bd.add th.bd category waited;
+  Obs.Metrics.observe rt.metrics key waited;
+  if waited > 0 && not (Obs.Sink.is_null rt.obs) then
+    rt.obs.Obs.Sink.span
+      { Obs.Span.name; cat = scat; tid = th.tid; t0; t1 = Sim.Engine.now rt.eng; args = [] }
 
 let mutex_of rt id =
   match Hashtbl.find_opt rt.mutexes id with
@@ -137,7 +156,8 @@ let mutex_lock rt th mid =
     while not th.lock_grant do
       Sim.Engine.block rt.eng ~reason:(Printf.sprintf "lock:%d" mid)
     done;
-    Bd.add th.bd Bd.Lock_wait (Sim.Engine.now rt.eng - t0);
+    charge_wait rt th ~category:Bd.Lock_wait ~scat:Obs.Span.Lock_wait ~key:"lock_wait_ns"
+      ~name:(Printf.sprintf "lock:%d" mid) ~t0;
     m.held_by <- Some th.tid
   end;
   record_sync rt th (Printf.sprintf "lock:%d" mid)
@@ -169,7 +189,8 @@ let cond_wait rt th cid mid =
   while not th.cond_grant do
     Sim.Engine.block rt.eng ~reason:(Printf.sprintf "cond:%d" cid)
   done;
-  Bd.add th.bd Bd.Lock_wait (Sim.Engine.now rt.eng - t0);
+  charge_wait rt th ~category:Bd.Lock_wait ~scat:Obs.Span.Lock_wait ~key:"lock_wait_ns"
+    ~name:(Printf.sprintf "cond:%d" cid) ~t0;
   mutex_lock rt th mid
 
 let cond_signal rt th cid ~broadcast =
@@ -209,7 +230,10 @@ let barrier_wait rt th bid =
     while b.generation = gen do
       Sim.Engine.block rt.eng ~reason:(Printf.sprintf "barrier:%d" bid)
     done;
-    Bd.add th.bd Bd.Barrier_wait (Sim.Engine.now rt.eng - t0)
+    charge_wait rt th ~category:Bd.Barrier_wait ~scat:Obs.Span.Barrier_wait
+      ~key:"barrier_wait_ns"
+      ~name:(Printf.sprintf "barrier:%d" bid)
+      ~t0
   end
 
 let rec make_ops rt th : Api.ops =
@@ -291,11 +315,14 @@ and join_thread rt th target_tid =
     while not th.join_grant do
       Sim.Engine.block rt.eng ~reason:(Printf.sprintf "join:%d" target_tid)
     done;
-    Bd.add th.bd Bd.Lock_wait (Sim.Engine.now rt.eng - t0)
+    charge_wait rt th ~category:Bd.Lock_wait ~scat:Obs.Span.Lock_wait ~key:"lock_wait_ns"
+      ~name:(Printf.sprintf "join:%d" target_tid)
+      ~t0
   end;
   record_sync rt th (Printf.sprintf "join:%d" target_tid)
 
-let run ?(costs = Cost_model.default) ?(seed = 1) ?nthreads (program : Api.t) =
+let run ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?(obs = Obs.Sink.null)
+    (program : Api.t) =
   let nthreads = match nthreads with Some n -> n | None -> program.Api.default_threads in
   let eng = Sim.Engine.create ~seed () in
   let rt =
@@ -313,6 +340,8 @@ let run ?(costs = Cost_model.default) ?(seed = 1) ?nthreads (program : Api.t) =
       out_trace = Sim.Trace.create ~capture:true ();
       next_tid = 1;
       sync_ops = 0;
+      obs;
+      metrics = Obs.Metrics.create ();
     }
   in
   let main_state = new_thread_state rt ~tid:0 ~tname:"main" in
@@ -365,4 +394,5 @@ let run ?(costs = Cost_model.default) ?(seed = 1) ?nthreads (program : Api.t) =
       List.map
         (fun (e : Sim.Trace.event) -> (e.Sim.Trace.time, e.Sim.Trace.tid, e.Sim.Trace.label))
         (Sim.Trace.events rt.sync_trace);
+    metrics = Obs.Metrics.snapshot rt.metrics;
   }

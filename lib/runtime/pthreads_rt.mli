@@ -10,7 +10,15 @@
     programs. *)
 
 val run :
-  ?costs:Cost_model.t -> ?seed:int -> ?nthreads:int -> Api.t -> Stats.Run_result.t
+  ?costs:Cost_model.t ->
+  ?seed:int ->
+  ?nthreads:int ->
+  ?obs:Obs.Sink.t ->
+  Api.t ->
+  Stats.Run_result.t
+(** [obs] (default {!Obs.Sink.null}) receives lock / barrier / join wait
+    spans; pthreads has no token, chunks or commits, so only wait spans
+    and op counters appear. *)
 
 val name : string
 (** ["pthreads"]. *)

@@ -13,10 +13,14 @@ let deterministic = function
   | Pthreads -> false
   | Det cfg -> cfg.Config.counter_jitter_ppm = 0
 
-let run rt ?costs ?seed ?nthreads program =
+let run rt ?costs ?seed ?nthreads ?observer ?obs program =
   match rt with
-  | Pthreads -> Pthreads_rt.run ?costs ?seed ?nthreads program
-  | Det cfg -> Det_rt.run cfg ?costs ?seed ?nthreads program
+  | Pthreads ->
+      (* Pthreads has no deterministic global order, so there is no
+         happens-before stream to observe. *)
+      ignore observer;
+      Pthreads_rt.run ?costs ?seed ?nthreads ?obs program
+  | Det cfg -> Det_rt.run cfg ?costs ?seed ?nthreads ?observer ?obs program
 
 let best_over_threads rt ?costs ?seed ~threads program =
   match threads with

@@ -23,8 +23,14 @@ val run :
   ?costs:Cost_model.t ->
   ?seed:int ->
   ?nthreads:int ->
+  ?observer:Rt_event.observer ->
+  ?obs:Obs.Sink.t ->
   Api.t ->
   Stats.Run_result.t
+(** [observer] receives the deterministic runtimes' happens-before
+    events (ignored under [Pthreads], which has no deterministic global
+    order).  [obs] receives timing spans on any runtime; see
+    {!Det_rt.run} for the determinism-neutrality guarantee. *)
 
 val best_over_threads :
   runtime ->

@@ -48,6 +48,10 @@ type t = {
       (** the deterministic synchronization schedule: (time ns, tid,
           operation label) in global order — the artifact a record/replay
           debugger would consume *)
+  metrics : Obs.Metrics.snapshot;
+      (** per-run counters and latency histograms (token hold, commit,
+          determ wait, pages/commit, chunk length, ...); derived purely
+          from simulated quantities, hence deterministic *)
 }
 
 val aggregate_breakdown : t -> Breakdown.t
@@ -58,3 +62,10 @@ val deterministic_witness : t -> string
     deterministic runtime must agree on this for any seeds. *)
 
 val pp_summary : Format.formatter -> t -> unit
+(** Headline metrics plus p50/p95/p99 lines for the key latency
+    histograms present in [metrics]. *)
+
+val to_json : t -> Obs.Json.t
+(** Machine-readable dump of everything except the full [schedule]
+    (which can be huge; consumers wanting the timeline should record a
+    Chrome trace instead). *)

@@ -10,6 +10,8 @@ let add_row t row =
   t.rows <- row :: t.rows
 
 let row_count t = List.length t.rows
+let columns t = t.columns
+let rows t = List.rev t.rows
 
 let render t =
   let rows = List.rev t.rows in

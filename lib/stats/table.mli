@@ -11,6 +11,12 @@ val add_row : t -> string list -> unit
 
 val row_count : t -> int
 
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order (the order {!render} prints them) — used by
+    the JSON exporters. *)
+
 val render : t -> string
 (** Aligned table with a header rule. *)
 

@@ -1,0 +1,420 @@
+(* Tests for the observability library: JSON printer/parser, metrics
+   registry, recording tracer, and the Chrome trace-event exporter
+   (schema-checked against a real runtime trace). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_doc =
+  Obs.Json.(
+    Obj
+      [
+        ("null", Null);
+        ("true", Bool true);
+        ("false", Bool false);
+        ("int", Int 42);
+        ("neg", Int (-17));
+        ("float", Float 1.5);
+        ("string", String "hello");
+        ("list", List [ Int 1; Int 2; Int 3 ]);
+        ("nested", Obj [ ("inner", List [ Obj [ ("k", String "v") ] ]) ]);
+        ("empty_list", List []);
+        ("empty_obj", Obj []);
+      ])
+
+let test_json_roundtrip () =
+  match Obs.Json.parse (Obs.Json.to_string sample_doc) with
+  | Ok parsed -> check_bool "roundtrip equal" true (parsed = sample_doc)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_string_escaping () =
+  let nasty = "quote\" backslash\\ newline\n tab\t cr\r nul\x00 ctl\x1f utf8 \xc3\xa9" in
+  let doc = Obs.Json.String nasty in
+  let s = Obs.Json.to_string doc in
+  (* The rendering must not contain raw control characters. *)
+  String.iter (fun c -> check_bool "no raw control chars" true (Char.code c >= 0x20)) s;
+  match Obs.Json.parse s with
+  | Ok (Obs.Json.String back) -> check_string "escaped string survives" nasty back
+  | Ok _ -> Alcotest.fail "parsed to non-string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_unicode_escape_parsing () =
+  (* é is é; the parser must decode it to UTF-8. *)
+  match Obs.Json.parse {|"café"|} with
+  | Ok (Obs.Json.String s) -> check_string "utf8 decoded" "caf\xc3\xa9" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape did not parse"
+
+let test_json_non_finite_floats () =
+  check_string "nan is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  check_string "inf is null" "null" (Obs.Json.to_string (Obs.Json.Float Float.infinity));
+  check_string "float keeps point" "2.0" (Obs.Json.to_string (Obs.Json.Float 2.0))
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "[1] trailing"; "01" ] in
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    bad
+
+let test_json_accessors () =
+  let doc = sample_doc in
+  check_bool "member hit" true (Obs.Json.member "int" doc = Some (Obs.Json.Int 42));
+  check_bool "member miss" true (Obs.Json.member "absent" doc = None);
+  check_bool "int accessor" true
+    (Option.bind (Obs.Json.member "int" doc) Obs.Json.to_int_opt = Some 42);
+  check_bool "float coercion" true
+    (Option.bind (Obs.Json.member "int" doc) Obs.Json.to_float_opt = Some 42.0);
+  check_bool "string accessor" true
+    (Option.bind (Obs.Json.member "string" doc) Obs.Json.to_string_opt = Some "hello");
+  check_bool "list accessor" true
+    (match Option.bind (Obs.Json.member "list" doc) Obs.Json.to_list_opt with
+    | Some l -> List.length l = 3
+    | None -> false)
+
+let prop_json_int_roundtrip =
+  QCheck.Test.make ~name:"json roundtrips arbitrary int lists" ~count:200
+    QCheck.(list int)
+    (fun ints ->
+      let doc = Obs.Json.List (List.map (fun i -> Obs.Json.Int i) ints) in
+      Obs.Json.parse (Obs.Json.to_string doc) = Ok doc)
+
+let prop_json_string_roundtrip =
+  QCheck.Test.make ~name:"json roundtrips arbitrary strings" ~count:200
+    QCheck.printable_string
+    (fun s ->
+      Obs.Json.parse (Obs.Json.to_string (Obs.Json.String s)) = Ok (Obs.Json.String s))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "b";
+  Obs.Metrics.incr m "a" ~by:3;
+  Obs.Metrics.incr m "b";
+  let s = Obs.Metrics.snapshot m in
+  check_bool "sorted by name" true (s.Obs.Metrics.counters = [ ("a", 3); ("b", 2) ]);
+  check_int "counter_value" 3 (Obs.Metrics.counter_value s "a");
+  check_int "absent counter is 0" 0 (Obs.Metrics.counter_value s "zzz")
+
+let test_metrics_observe_negative_raises () =
+  let m = Obs.Metrics.create () in
+  let raised =
+    try
+      Obs.Metrics.observe m "h" (-1);
+      false
+    with Invalid_argument _ -> true
+  in
+  check_bool "negative raises" true raised
+
+let test_metrics_single_value_percentiles () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.observe m "h" 1000;
+  let s = Obs.Metrics.snapshot m in
+  match Obs.Metrics.find_hist s "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      check_int "count" 1 h.Obs.Metrics.count;
+      check_int "sum" 1000 h.Obs.Metrics.sum;
+      check_int "min" 1000 h.Obs.Metrics.min_v;
+      check_int "max" 1000 h.Obs.Metrics.max_v;
+      List.iter
+        (fun q ->
+          Alcotest.(check (float 0.001))
+            (Printf.sprintf "p%g" (q *. 100.))
+            1000.0 (Obs.Metrics.percentile h q))
+        [ 0.0; 0.5; 0.99; 1.0 ]
+
+let test_metrics_percentile_bounds () =
+  let m = Obs.Metrics.create () in
+  for v = 1 to 1000 do
+    Obs.Metrics.observe m "h" v
+  done;
+  let s = Obs.Metrics.snapshot m in
+  match Obs.Metrics.find_hist s "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      check_int "count" 1000 h.Obs.Metrics.count;
+      check_int "min exact" 1 h.Obs.Metrics.min_v;
+      check_int "max exact" 1000 h.Obs.Metrics.max_v;
+      Alcotest.(check (float 0.001)) "mean" 500.5 (Obs.Metrics.mean h);
+      (* Power-of-two buckets: estimates are within a factor of 2 of the
+         true quantile, and clamped to [min, max]. *)
+      List.iter
+        (fun q ->
+          let est = Obs.Metrics.percentile h q in
+          let true_q = q *. 1000.0 in
+          check_bool
+            (Printf.sprintf "p%g in range (est %.1f true %.1f)" (q *. 100.) est true_q)
+            true
+            (est >= Float.max 1.0 (true_q /. 2.0) && est <= Float.min 1000.0 (true_q *. 2.0)))
+        [ 0.5; 0.9; 0.95; 0.99 ]
+
+let test_metrics_empty_percentile_nan () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.observe m "h" 5;
+  let s = Obs.Metrics.snapshot m in
+  let h = Option.get (Obs.Metrics.find_hist s "h") in
+  let fake = { h with Obs.Metrics.count = 0; buckets = [] } in
+  check_bool "empty is nan" true (Float.is_nan (Obs.Metrics.percentile fake 0.5))
+
+let test_metrics_zero_values () =
+  let m = Obs.Metrics.create () in
+  for _ = 1 to 10 do
+    Obs.Metrics.observe m "h" 0
+  done;
+  let s = Obs.Metrics.snapshot m in
+  let h = Option.get (Obs.Metrics.find_hist s "h") in
+  Alcotest.(check (float 0.001)) "all-zero p99" 0.0 (Obs.Metrics.percentile h 0.99)
+
+let test_metrics_to_json_shape () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "ops";
+  Obs.Metrics.observe m "lat" 100;
+  Obs.Metrics.observe m "lat" 200;
+  let j = Obs.Metrics.to_json (Obs.Metrics.snapshot m) in
+  (match Option.bind (Obs.Json.member "counters" j) (Obs.Json.member "ops") with
+  | Some (Obs.Json.Int 1) -> ()
+  | _ -> Alcotest.fail "counters.ops missing");
+  match Option.bind (Obs.Json.member "histograms" j) Obs.Json.to_list_opt with
+  | Some [ h ] ->
+      check_bool "hist name" true
+        (Option.bind (Obs.Json.member "name" h) Obs.Json.to_string_opt = Some "lat");
+      check_bool "hist count" true
+        (Option.bind (Obs.Json.member "count" h) Obs.Json.to_int_opt = Some 2);
+      check_bool "p50 present" true (Obs.Json.member "p50" h <> None)
+  | _ -> Alcotest.fail "histograms list wrong"
+
+let prop_metrics_percentile_within_bucket =
+  QCheck.Test.make ~name:"percentile stays within [min,max]" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (int_bound 1_000_000))
+    (fun values ->
+      let m = Obs.Metrics.create () in
+      List.iter (fun v -> Obs.Metrics.observe m "h" v) values;
+      let h = Option.get (Obs.Metrics.find_hist (Obs.Metrics.snapshot m) "h") in
+      List.for_all
+        (fun q ->
+          let est = Obs.Metrics.percentile h q in
+          est >= float_of_int h.Obs.Metrics.min_v -. 0.001
+          && est <= float_of_int h.Obs.Metrics.max_v +. 0.001)
+        [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Tracer / sink                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mk_span ?(name = "s") ?(cat = Obs.Span.Chunk) ?(tid = 0) ~t0 ~t1 () =
+  { Obs.Span.name; cat; tid; t0; t1; args = [] }
+
+let mk_instant ?(iname = "i") ?(itid = 0) ~itime () =
+  { Obs.Span.iname; icat = Obs.Span.Sync; itid; itime }
+
+let test_tracer_arrival_order () =
+  let tr = Obs.Tracer.create () in
+  let sink = Obs.Tracer.sink tr in
+  (* Emit out of timestamp order: arrival order must be preserved. *)
+  sink.Obs.Sink.span (mk_span ~name:"late" ~t0:100 ~t1:200 ());
+  sink.Obs.Sink.span (mk_span ~name:"early" ~t0:0 ~t1:10 ());
+  sink.Obs.Sink.instant (mk_instant ~iname:"m" ~itime:5 ());
+  check_int "span count" 2 (Obs.Tracer.span_count tr);
+  check_int "instant count" 1 (Obs.Tracer.instant_count tr);
+  Alcotest.(check (list string))
+    "arrival order" [ "late"; "early" ]
+    (List.map (fun (s : Obs.Span.t) -> s.Obs.Span.name) (Obs.Tracer.spans tr))
+
+let test_tracer_tids_sorted_distinct () =
+  let tr = Obs.Tracer.create () in
+  let sink = Obs.Tracer.sink tr in
+  List.iter (fun tid -> sink.Obs.Sink.span (mk_span ~tid ~t0:0 ~t1:1 ())) [ 3; 1; 3; 0 ];
+  sink.Obs.Sink.instant (mk_instant ~itid:7 ~itime:0 ());
+  Alcotest.(check (list int)) "tids" [ 0; 1; 3; 7 ] (Obs.Tracer.tids tr)
+
+let test_tracer_clear () =
+  let tr = Obs.Tracer.create () in
+  (Obs.Tracer.sink tr).Obs.Sink.span (mk_span ~t0:0 ~t1:1 ());
+  Obs.Tracer.clear tr;
+  check_int "cleared" 0 (Obs.Tracer.span_count tr);
+  check_bool "no spans" true (Obs.Tracer.spans tr = [])
+
+let test_sink_null_and_tee () =
+  check_bool "null is null" true (Obs.Sink.is_null Obs.Sink.null);
+  let a = Obs.Tracer.create () and b = Obs.Tracer.create () in
+  let tee = Obs.Sink.tee (Obs.Tracer.sink a) (Obs.Tracer.sink b) in
+  check_bool "tee is not null" false (Obs.Sink.is_null tee);
+  check_bool "tracer sink is not null" false (Obs.Sink.is_null (Obs.Tracer.sink a));
+  tee.Obs.Sink.span (mk_span ~t0:0 ~t1:5 ());
+  tee.Obs.Sink.instant (mk_instant ~itime:1 ());
+  check_int "tee -> a spans" 1 (Obs.Tracer.span_count a);
+  check_int "tee -> b spans" 1 (Obs.Tracer.span_count b);
+  check_int "tee -> a instants" 1 (Obs.Tracer.instant_count a);
+  check_int "tee -> b instants" 1 (Obs.Tracer.instant_count b)
+
+let test_span_duration () =
+  check_int "duration" 42 (Obs.Span.duration (mk_span ~t0:8 ~t1:50 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace schema                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural validity per the trace-event format: every event has name /
+   ph / pid; "X" events have numeric ts/dur >= 0 and a tid; "i" events
+   have thread scope; every tid referenced by an event has a thread_name
+   metadata record. *)
+let check_chrome_schema json =
+  let get name j = Obs.Json.member name j in
+  let events =
+    match Option.bind (get "traceEvents" json) Obs.Json.to_list_opt with
+    | Some evs -> evs
+    | None -> Alcotest.fail "traceEvents missing or not a list"
+  in
+  check_bool "has events" true (events <> []);
+  let named_tids = Hashtbl.create 16 in
+  let used_tids = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let ph =
+        match Option.bind (get "ph" ev) Obs.Json.to_string_opt with
+        | Some ph -> ph
+        | None -> Alcotest.fail "event without ph"
+      in
+      check_bool "event has name" true (Option.bind (get "name" ev) Obs.Json.to_string_opt <> None);
+      check_bool "event has pid" true (Option.bind (get "pid" ev) Obs.Json.to_int_opt <> None);
+      match ph with
+      | "M" -> (
+          match
+            ( Option.bind (get "name" ev) Obs.Json.to_string_opt,
+              Option.bind (get "tid" ev) Obs.Json.to_int_opt )
+          with
+          | Some "thread_name", Some tid -> Hashtbl.replace named_tids tid ()
+          | _ -> ())
+      | "X" ->
+          let ts = Option.bind (get "ts" ev) Obs.Json.to_float_opt in
+          let dur = Option.bind (get "dur" ev) Obs.Json.to_float_opt in
+          let tid = Option.bind (get "tid" ev) Obs.Json.to_int_opt in
+          check_bool "X has ts >= 0" true (match ts with Some t -> t >= 0.0 | None -> false);
+          check_bool "X has dur >= 0" true (match dur with Some d -> d >= 0.0 | None -> false);
+          check_bool "X has cat" true (Option.bind (get "cat" ev) Obs.Json.to_string_opt <> None);
+          (match tid with
+          | Some t -> Hashtbl.replace used_tids t ()
+          | None -> Alcotest.fail "X event without tid");
+          ()
+      | "i" ->
+          check_bool "i has thread scope" true
+            (Option.bind (get "s" ev) Obs.Json.to_string_opt = Some "t");
+          (match Option.bind (get "tid" ev) Obs.Json.to_int_opt with
+          | Some t -> Hashtbl.replace used_tids t ()
+          | None -> Alcotest.fail "i event without tid");
+          ()
+      | other -> Alcotest.failf "unexpected ph %S" other)
+    events;
+  Hashtbl.iter
+    (fun tid () ->
+      check_bool (Printf.sprintf "tid %d has thread_name track" tid) true
+        (Hashtbl.mem named_tids tid))
+    used_tids
+
+let test_chrome_trace_schema_synthetic () =
+  let tr = Obs.Tracer.create () in
+  let sink = Obs.Tracer.sink tr in
+  sink.Obs.Sink.span
+    { Obs.Span.name = "work"; cat = Obs.Span.Chunk; tid = 2; t0 = 10; t1 = 35;
+      args = [ ("instr", 25) ] };
+  sink.Obs.Sink.instant (mk_instant ~iname:"acq" ~itid:1 ~itime:12 ());
+  let json = Obs.Chrome_trace.of_tracer ~process_name:"test" tr in
+  (* The exporter's output must survive its own parser. *)
+  (match Obs.Json.parse (Obs.Json.to_string json) with
+  | Ok reparsed -> check_bool "reparses identically" true (reparsed = json)
+  | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e);
+  check_chrome_schema json
+
+let test_chrome_trace_schema_real_run () =
+  (* The acceptance path: trace the histogram benchmark under
+     consequence-ic and schema-check the document end to end. *)
+  let program = (Workload.Registry.find "histogram").Workload.Registry.program in
+  let tr = Obs.Tracer.create () in
+  let r =
+    Runtime.Det_rt.run Runtime.Config.consequence_ic ~seed:1 ~nthreads:4
+      ~obs:(Obs.Tracer.sink tr) program
+  in
+  check_bool "produced spans" true (Obs.Tracer.span_count tr > 0);
+  check_bool "produced instants" true (Obs.Tracer.instant_count tr > 0);
+  (* One track per simulated core: main + 4 workers. *)
+  check_int "tracks" 5 (List.length (Obs.Tracer.tids tr));
+  let json = Obs.Chrome_trace.of_tracer tr in
+  (match Obs.Json.parse (Obs.Json.to_string json) with
+  | Ok reparsed -> check_bool "reparses identically" true (reparsed = json)
+  | Error e -> Alcotest.failf "emitted JSON does not parse: %s" e);
+  check_chrome_schema json;
+  (* Spans never extend past the end of the run. *)
+  List.iter
+    (fun (s : Obs.Span.t) ->
+      check_bool "span within run" true
+        (s.Obs.Span.t0 >= 0 && s.Obs.Span.t1 <= r.Stats.Run_result.wall_ns
+        && s.Obs.Span.t0 <= s.Obs.Span.t1))
+    (Obs.Tracer.spans tr)
+
+let test_run_result_to_json_parses () =
+  let program = (Workload.Registry.find "histogram").Workload.Registry.program in
+  let r = Runtime.Det_rt.run Runtime.Config.consequence_ic ~seed:1 ~nthreads:4 program in
+  let j = Stats.Run_result.to_json r in
+  (match Obs.Json.parse (Obs.Json.to_string j) with
+  | Ok back -> check_bool "roundtrips" true (back = j)
+  | Error e -> Alcotest.failf "run result JSON does not parse: %s" e);
+  check_bool "witness present" true
+    (Option.bind (Obs.Json.member "witness" j) Obs.Json.to_string_opt
+    = Some (Stats.Run_result.deterministic_witness r));
+  check_bool "wall_ns present" true
+    (Option.bind (Obs.Json.member "wall_ns" j) Obs.Json.to_int_opt
+    = Some r.Stats.Run_result.wall_ns);
+  check_bool "metrics present" true (Obs.Json.member "metrics" j <> None)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "string escaping" `Quick test_json_string_escaping;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape_parsing;
+          Alcotest.test_case "non-finite floats" `Quick test_json_non_finite_floats;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          QCheck_alcotest.to_alcotest prop_json_int_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_string_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "negative observe raises" `Quick
+            test_metrics_observe_negative_raises;
+          Alcotest.test_case "single-value percentiles" `Quick
+            test_metrics_single_value_percentiles;
+          Alcotest.test_case "percentile bounds" `Quick test_metrics_percentile_bounds;
+          Alcotest.test_case "empty percentile nan" `Quick test_metrics_empty_percentile_nan;
+          Alcotest.test_case "zero values" `Quick test_metrics_zero_values;
+          Alcotest.test_case "to_json shape" `Quick test_metrics_to_json_shape;
+          QCheck_alcotest.to_alcotest prop_metrics_percentile_within_bucket;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "arrival order" `Quick test_tracer_arrival_order;
+          Alcotest.test_case "tids sorted distinct" `Quick test_tracer_tids_sorted_distinct;
+          Alcotest.test_case "clear" `Quick test_tracer_clear;
+          Alcotest.test_case "null and tee" `Quick test_sink_null_and_tee;
+          Alcotest.test_case "span duration" `Quick test_span_duration;
+        ] );
+      ( "chrome-trace",
+        [
+          Alcotest.test_case "schema (synthetic)" `Quick test_chrome_trace_schema_synthetic;
+          Alcotest.test_case "schema (real run)" `Quick test_chrome_trace_schema_real_run;
+          Alcotest.test_case "run result json" `Quick test_run_result_to_json_parses;
+        ] );
+    ]

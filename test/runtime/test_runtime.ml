@@ -666,6 +666,72 @@ let test_best_over_threads () =
   in
   check_bool "picked one" true (r.Res.nthreads = 2 || r.Res.nthreads = 4)
 
+(* --- Observability ---------------------------------------------------- *)
+
+(* Instrumentation must be determinism-neutral: attaching a tracer sink
+   must not change the witness, the simulated wall time, or the sync-op
+   count.  The sink only reads the clock, never advances it. *)
+let test_obs_neutrality () =
+  List.iter
+    (fun prog ->
+      List.iter
+        (fun rt ->
+          let bare = R.run rt ~seed:1 ~nthreads:4 prog in
+          let tr = Obs.Tracer.create () in
+          let traced = R.run rt ~seed:1 ~nthreads:4 ~obs:(Obs.Tracer.sink tr) prog in
+          let name = R.name rt ^ "/" ^ prog.Api.name in
+          check_string (name ^ " witness unchanged")
+            (Res.deterministic_witness bare)
+            (Res.deterministic_witness traced);
+          check_int (name ^ " wall_ns unchanged") bare.Res.wall_ns traced.Res.wall_ns;
+          check_int (name ^ " sync_ops unchanged") bare.Res.sync_ops traced.Res.sync_ops;
+          if List.mem rt det_runtimes then
+            check_bool (name ^ " produced spans") true (Obs.Tracer.span_count tr > 0))
+        R.all)
+    [ locked_counter ~iters:8; contended ]
+
+(* Rt_event observer: events are delivered in global token order, so the
+   stream is seed-invariant, commit versions arrive strictly increasing,
+   and mutex acquire/release counts match the program exactly. *)
+let test_observer_token_order () =
+  let iters = 6 and nthreads = 4 in
+  let prog = locked_counter ~iters in
+  let collect rt seed =
+    let events = ref [] in
+    let r = R.run rt ~seed ~nthreads ~observer:(fun e -> events := e :: !events) prog in
+    (r, List.rev !events)
+  in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as tl) -> a < b && strictly_increasing tl
+    | _ -> true
+  in
+  List.iter
+    (fun rt ->
+      let r, events = collect rt 1 in
+      let name = R.name rt in
+      let m1 = Runtime.Rt_event.obj_mutex 1 in
+      let count p = List.length (List.filter p events) in
+      check_int (name ^ " mutex acquires") (nthreads * iters)
+        (count (function Runtime.Rt_event.Acquire { obj; _ } -> obj = m1 | _ -> false));
+      check_int (name ^ " mutex releases") (nthreads * iters)
+        (count (function Runtime.Rt_event.Release { obj; _ } -> obj = m1 | _ -> false));
+      let versions =
+        List.filter_map
+          (function Runtime.Rt_event.Commit { version; _ } -> Some version | _ -> None)
+          events
+      in
+      check_bool (name ^ " saw commits") true (versions <> []);
+      check_bool (name ^ " commit versions strictly increasing") true
+        (strictly_increasing versions);
+      (* The observer is itself neutral... *)
+      check_string (name ^ " observer neutral") (witness rt ~threads:nthreads prog)
+        (Res.deterministic_witness r);
+      (* ...and the stream is part of the deterministic behaviour: a
+         different seed yields the identical event sequence. *)
+      let _, events2 = collect rt 99 in
+      check_bool (name ^ " event stream seed-invariant") true (events = events2))
+    det_runtimes
+
 let () =
   Alcotest.run "runtime"
     [
@@ -723,5 +789,12 @@ let () =
           Alcotest.test_case "thread pool reuse" `Quick test_thread_pool_reuse;
           Alcotest.test_case "counter jitter runs" `Quick test_counter_jitter_still_runs;
           Alcotest.test_case "IC beats RR on mismatch" `Quick test_ic_beats_rr_on_mismatched_rates;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "instrumentation is determinism-neutral" `Quick
+            test_obs_neutrality;
+          Alcotest.test_case "observer events in token order" `Quick
+            test_observer_token_order;
         ] );
     ]

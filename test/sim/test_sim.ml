@@ -369,6 +369,18 @@ let test_trace_capture_off () =
   check_int "counted" 1 (Sim.Trace.length t);
   check_bool "not captured" true (Sim.Trace.events t = [])
 
+let test_trace_events_recording_order () =
+  let t = Sim.Trace.create () in
+  let recorded = [ (5, 2, "c"); (1, 0, "a"); (9, 1, "b") ] in
+  List.iter (fun (time, tid, label) -> Sim.Trace.record t ~time ~tid ~label) recorded;
+  (* events must preserve recording order, NOT sort by timestamp. *)
+  let got =
+    List.map
+      (fun (e : Sim.Trace.event) -> (e.Sim.Trace.time, e.Sim.Trace.tid, e.Sim.Trace.label))
+      (Sim.Trace.events t)
+  in
+  Alcotest.(check (list (triple int int string))) "recording order" recorded got
+
 let test_trace_order_sensitivity () =
   let t1 = Sim.Trace.create () and t2 = Sim.Trace.create () in
   Sim.Trace.record t1 ~time:0 ~tid:0 ~label:"a";
@@ -427,6 +439,8 @@ let () =
           Alcotest.test_case "fnv int order sensitive" `Quick test_fnv_int_order_sensitive;
           Alcotest.test_case "trace hash ignores time" `Quick test_trace_hash_ignores_time;
           Alcotest.test_case "trace capture off" `Quick test_trace_capture_off;
+          Alcotest.test_case "trace events recording order" `Quick
+            test_trace_events_recording_order;
           Alcotest.test_case "trace order sensitivity" `Quick test_trace_order_sensitivity;
         ] );
     ]
