@@ -4,10 +4,17 @@
 
    Usage:
      bench/main.exe                 run everything (quick sweeps)
+     bench/main.exe all             same (explicit alias)
      bench/main.exe full            run everything with the full thread sweep
      bench/main.exe fig10 fig14     run selected sections
+     bench/main.exe -j 4 all        fan the sweeps over 4 domains
    Sections: fig10 fig11 fig12 fig13 fig14 fig15 fig16 determinism tso
-   climit soundness micro. *)
+   climit soundness locking chunking micro.
+
+   [-j N] sets the worker-domain count for the figure sweeps (0 = one
+   per recommended domain); results are gathered in input order, so the
+   output is byte-identical to a sequential run.  [--quick] is accepted
+   as an explicit synonym of the default sweep. *)
 
 let quick_threads = [ 2; 4; 8; 16 ]
 let full_threads = [ 2; 4; 8; 16; 32 ]
@@ -51,6 +58,50 @@ let micro_tests () =
           let local = Bytes.make page_size 'y' in
           let target = Vmem.Page.create ~size:page_size in
           fun () -> ignore (Vmem.Page.merge_into ~twin ~local ~target)))
+  in
+  let page_merge_sparse =
+    (* The realistic shape: a 4 KiB page where the thread changed a
+       handful of scattered bytes.  The word-level scan skips the
+       untouched 99% without byte-by-byte comparison. *)
+    Test.make ~name:"page: byte merge (4 KiB, 16 changed bytes)"
+      (Staged.stage
+         (let twin = Vmem.Page.create ~size:4096 in
+          let local = Vmem.Page.copy twin in
+          for k = 0 to 15 do
+            Bytes.set local (k * 251) 'y'
+          done;
+          let target = Vmem.Page.create ~size:4096 in
+          fun () -> ignore (Vmem.Page.merge_into ~twin ~local ~target)))
+  in
+  let seg_commit_deep =
+    (* Commit against a segment whose pages already carry a 1000-version
+       history: the case the offset-array page histories optimize.  The
+       assoc-list representation walked (and re-sorted) the whole
+       history on every touch. *)
+    Test.make ~name:"segment: commit + read back (1000-version history)"
+      (Staged.stage
+         (let seg = Vmem.Segment.create ~pages:16 ~page_size () in
+          let page = Vmem.Page.create ~size:page_size in
+          for v = 1 to 1000 do
+            Bytes.set page 0 (Char.chr (v land 0xff));
+            ignore
+              (Vmem.Segment.commit seg ~committer:0
+                 ~pages:[ (3, Vmem.Page.copy page) ])
+          done;
+          fun () ->
+            let v =
+              Vmem.Segment.commit seg ~committer:0
+                ~pages:[ (3, Vmem.Page.copy page) ]
+            in
+            ignore (Vmem.Segment.read_page seg ~version:v 3)))
+  in
+  let ws_read64 =
+    Test.make ~name:"workspace: read_int64 (single-page fast path)"
+      (Staged.stage
+         (let seg = Vmem.Segment.create ~pages:16 ~page_size () in
+          let ws = Vmem.Workspace.create seg ~tid:0 in
+          Vmem.Workspace.write_int64 ws ~addr:128 42L;
+          fun () -> ignore (Vmem.Workspace.read_int64 ws ~addr:128)))
   in
   let heap_ops =
     Test.make ~name:"event heap: 256 push + pop"
@@ -97,7 +148,10 @@ let micro_tests () =
           fun () ->
             ignore (Runtime.Det_rt.run Runtime.Config.consequence_ic ~seed:1 ~nthreads:4 program)))
   in
-  [ seg_commit; ws_cycle; page_merge; heap_ops; gmic; fnv; end_to_end ]
+  [
+    seg_commit; seg_commit_deep; ws_cycle; ws_read64; page_merge; page_merge_sparse;
+    heap_ops; gmic; fnv; end_to_end;
+  ]
 
 let run_micro () =
   let open Bechamel in
@@ -166,16 +220,47 @@ let run_section ~threads name =
   Obs.Json.to_file file json;
   Printf.printf "[%s -> %s]\n" name file
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [-j N] [--quick|full] [all|%s ...]\n"
+    (String.concat "|" section_names);
+  exit 2
+
+let set_jobs n = Sim.Par.set_jobs (if n = 0 then Sim.Par.default_jobs () else n)
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 ->
+            set_jobs n;
+            parse acc rest
+        | _ -> usage ())
+    | [ "-j" ] -> usage ()
+    | arg :: rest
+      when String.length arg > 2 && String.sub arg 0 2 = "-j"
+           && int_of_string_opt (String.sub arg 2 (String.length arg - 2)) <> None ->
+        set_jobs (int_of_string (String.sub arg 2 (String.length arg - 2)));
+        parse acc rest
+    | "--quick" :: rest -> parse acc rest
+    | "all" :: rest -> parse acc rest (* alias for the default: every section *)
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | arg :: rest -> parse (arg :: acc) rest
+  in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let full = List.mem "full" args in
   let threads = if full then full_threads else quick_threads in
   let sections = List.filter (fun a -> a <> "full") args in
   let sections = if sections = [] then section_names else sections in
+  let w0 = Unix.gettimeofday () in
   let t0 = Sys.time () in
   List.iter
     (fun s ->
       run_section ~threads s;
       print_newline ())
     sections;
-  Printf.printf "bench complete in %.1f s (cpu)\n" (Sys.time () -. t0)
+  Printf.printf "bench complete in %.1f s wall / %.1f s cpu (%d job%s)\n"
+    (Unix.gettimeofday () -. w0)
+    (Sys.time () -. t0) (Sim.Par.jobs ())
+    (if Sim.Par.jobs () = 1 then "" else "s")

@@ -37,6 +37,17 @@ let threads_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc:"Simulation seed (perturbs timing only).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for fanning out independent simulations (0 = one per \
+           recommended domain).  Results are gathered in input order, so the output \
+           is identical for any job count.")
+
+let apply_jobs j = Sim.Par.set_jobs (if j = 0 then Sim.Par.default_jobs () else j)
+
 let benchmark_arg =
   let doc = "Benchmark name (see the bench subcommand for the list)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
@@ -240,21 +251,28 @@ let schedule_cmd =
 (* --- stress ------------------------------------------------------------ *)
 
 let stress_cmd =
-  let action runtime threads programs seeds =
+  let action runtime threads programs seeds jobs =
+    apply_jobs jobs;
+    let distincts =
+      Sim.Par.map_list
+        (fun prog_seed ->
+          let program = Workload.Synthetic.make ~seed:prog_seed () in
+          let witnesses =
+            List.init seeds (fun k ->
+                Stats.Run_result.deterministic_witness
+                  (Runtime.Run.run runtime ~seed:(1 + (97 * k)) ~nthreads:threads program))
+          in
+          List.length (List.sort_uniq compare witnesses))
+        (List.init programs (fun i -> i + 1))
+    in
     let failures = ref 0 in
-    for prog_seed = 1 to programs do
-      let program = Workload.Synthetic.make ~seed:prog_seed () in
-      let witnesses =
-        List.init seeds (fun k ->
-            Stats.Run_result.deterministic_witness
-              (Runtime.Run.run runtime ~seed:(1 + (97 * k)) ~nthreads:threads program))
-      in
-      let distinct = List.length (List.sort_uniq compare witnesses) in
-      if distinct > 1 then begin
-        incr failures;
-        Printf.printf "program %d: %d DISTINCT WITNESSES\n" prog_seed distinct
-      end
-    done;
+    List.iteri
+      (fun i distinct ->
+        if distinct > 1 then begin
+          incr failures;
+          Printf.printf "program %d: %d DISTINCT WITNESSES\n" (i + 1) distinct
+        end)
+      distincts;
     Printf.printf
       "stress: %d random programs x %d perturbed runs on %s, %d threads -> %d determinism failure(s)\n"
       programs seeds (Runtime.Run.name runtime) threads !failures;
@@ -268,12 +286,13 @@ let stress_cmd =
   in
   Cmd.v
     (Cmd.info "stress" ~doc:"Fuzz determinism with seeded random programs.")
-    Term.(const action $ runtime_arg $ threads_arg $ programs_arg $ seeds_arg)
+    Term.(const action $ runtime_arg $ threads_arg $ programs_arg $ seeds_arg $ jobs_arg)
 
 (* --- check ------------------------------------------------------------ *)
 
 let check_cmd =
-  let action runtime threads name =
+  let action runtime threads name jobs =
+    apply_jobs jobs;
     match find_program name with
     | Error e ->
         prerr_endline e;
@@ -281,7 +300,7 @@ let check_cmd =
     | Ok program ->
         let seeds = [ 1; 2; 3; 42; 1337 ] in
         let witnesses =
-          List.map
+          Sim.Par.map_list
             (fun seed ->
               Stats.Run_result.deterministic_witness
                 (Runtime.Run.run runtime ~seed ~nthreads:threads program))
@@ -297,7 +316,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Determinism self-check across perturbed executions.")
-    Term.(const action $ runtime_arg $ threads_arg $ benchmark_arg)
+    Term.(const action $ runtime_arg $ threads_arg $ benchmark_arg $ jobs_arg)
 
 let () =
   let info =

@@ -21,18 +21,21 @@ let program =
 
 let measure ?(threads = 8) ?(seed = 1) () =
   let base = Runtime.Config.consequence_ic in
-  let run_cfg variant cfg =
-    let r = Runtime.Det_rt.run cfg ~seed ~nthreads:threads program in
-    let forced =
-      List.length
-        (List.filter (fun (_, _, l) -> l = "forced-commit") r.Stats.Run_result.schedule)
-    in
-    { variant; wall_ns = r.Stats.Run_result.wall_ns; commits = r.Stats.Run_result.commits; forced }
+  let variants =
+    ("sync-ops-only", base)
+    :: List.map
+         (fun k -> (Printf.sprintf "chunk-%d" k, Runtime.Config.with_chunk_limit base k))
+         chunk_sizes
   in
-  run_cfg "sync-ops-only" base
-  :: List.map
-       (fun k -> run_cfg (Printf.sprintf "chunk-%d" k) (Runtime.Config.with_chunk_limit base k))
-       chunk_sizes
+  Sim.Par.map_list
+    (fun (variant, cfg) ->
+      let r = Runtime.Det_rt.run cfg ~seed ~nthreads:threads program in
+      let forced =
+        List.length
+          (List.filter (fun (_, _, l) -> l = "forced-commit") r.Stats.Run_result.schedule)
+      in
+      { variant; wall_ns = r.Stats.Run_result.wall_ns; commits = r.Stats.Run_result.commits; forced })
+    variants
 
 let run ?threads ?seed () =
   let rows = measure ?threads ?seed () in

@@ -38,7 +38,7 @@ let forced_commit_count r =
     (List.filter (fun (_, _, label) -> label = "forced-commit") r.Stats.Run_result.schedule)
 
 let measure ?(seed = 1) () =
-  List.map
+  Sim.Par.map_list
     (fun limit ->
       let cfg =
         match limit with

@@ -11,19 +11,35 @@ let witness rt ~seed ~threads program =
   Stats.Run_result.deterministic_witness (Runtime.Run.run rt ~seed ~nthreads:threads program)
 
 let measure ?(threads = 4) ?(seeds = [ 1; 2; 42 ]) () =
-  List.map
-    (fun entry ->
+  (* One job per (benchmark, runtime); pthreads rides along as the last
+     runtime of each benchmark.  Each job runs its own seed sweep. *)
+  let rts = det_runtimes @ [ Runtime.Run.pthreads ] in
+  let nrts = List.length rts in
+  let jobs =
+    List.concat_map
+      (fun entry -> List.map (fun rt -> (entry, rt)) rts)
+      Workload.Registry.all
+  in
+  let sweeps =
+    Array.of_list
+      (Sim.Par.map_list
+         (fun (entry, rt) ->
+           let program = entry.Workload.Registry.program in
+           List.map (fun seed -> witness rt ~seed ~threads program) seeds)
+         jobs)
+  in
+  List.mapi
+    (fun k entry ->
       let program = entry.Workload.Registry.program in
       let stable =
-        List.map
-          (fun rt ->
-            let ws = List.map (fun seed -> witness rt ~seed ~threads program) seeds in
+        List.mapi
+          (fun j rt ->
+            let ws = sweeps.((k * nrts) + j) in
             (Runtime.Run.name rt, List.length (List.sort_uniq compare ws) = 1))
           det_runtimes
       in
       let pthreads_variants =
-        List.map (fun seed -> witness Runtime.Run.pthreads ~seed ~threads program) seeds
-        |> List.sort_uniq compare |> List.length
+        sweeps.((k * nrts) + nrts - 1) |> List.sort_uniq compare |> List.length
       in
       { benchmark = program.Api.name; stable; pthreads_variants })
     Workload.Registry.all

@@ -9,21 +9,34 @@ let det_runtimes =
   [ Runtime.Run.dthreads; Runtime.Run.dwc; Runtime.Run.consequence_rr; Runtime.Run.consequence_ic ]
 
 let measure ?(threads = threads_sweep) ?(seed = 1) () =
-  List.map
-    (fun entry ->
-      let program = entry.Workload.Registry.program in
-      let best rt =
-        (Runtime.Run.best_over_threads rt ~seed ~threads program).Stats.Run_result.wall_ns
-      in
-      let pthreads_best = best Runtime.Run.pthreads in
+  (* One job per (benchmark, runtime) pair; results gathered in input
+     order, so the assembled rows match the sequential sweep exactly. *)
+  let rts = Runtime.Run.pthreads :: det_runtimes in
+  let nrts = List.length rts in
+  let entries = Workload.Registry.all in
+  let jobs =
+    List.concat_map (fun entry -> List.map (fun rt -> (entry, rt)) rts) entries
+  in
+  let walls =
+    Array.of_list
+      (Sim.Par.map_list
+         (fun (entry, rt) ->
+           (Runtime.Run.best_over_threads rt ~seed ~threads entry.Workload.Registry.program)
+             .Stats.Run_result.wall_ns)
+         jobs)
+  in
+  List.mapi
+    (fun k entry ->
+      let pthreads_best = walls.(k * nrts) in
       let ratios =
-        List.map
-          (fun rt ->
-            (Runtime.Run.name rt, float_of_int (best rt) /. float_of_int pthreads_best))
+        List.mapi
+          (fun j rt ->
+            ( Runtime.Run.name rt,
+              float_of_int walls.((k * nrts) + 1 + j) /. float_of_int pthreads_best ))
           det_runtimes
       in
-      { benchmark = program.Api.name; ratios })
-    Workload.Registry.all
+      { benchmark = entry.Workload.Registry.program.Api.name; ratios })
+    entries
 
 let ratio_of row name = List.assoc name row.ratios
 

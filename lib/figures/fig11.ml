@@ -5,20 +5,22 @@ type series = {
 }
 
 let measure ?(threads = Fig10.threads_sweep) ?(seed = 1) () =
-  List.concat_map
-    (fun name ->
+  let pairs =
+    List.concat_map
+      (fun name -> List.map (fun rt -> (name, rt)) Runtime.Run.all)
+      Workload.Registry.fig11_set
+  in
+  Sim.Par.map_list
+    (fun (name, rt) ->
       let program = (Workload.Registry.find name).Workload.Registry.program in
-      List.map
-        (fun rt ->
-          let points =
-            List.map
-              (fun n ->
-                (n, (Runtime.Run.run rt ~seed ~nthreads:n program).Stats.Run_result.wall_ns))
-              threads
-          in
-          { benchmark = name; runtime = Runtime.Run.name rt; points })
-        Runtime.Run.all)
-    Workload.Registry.fig11_set
+      let points =
+        List.map
+          (fun n ->
+            (n, (Runtime.Run.run rt ~seed ~nthreads:n program).Stats.Run_result.wall_ns))
+          threads
+      in
+      { benchmark = name; runtime = Runtime.Run.name rt; points })
+    pairs
 
 let run ?threads ?seed () =
   let series = measure ?threads ?seed () in

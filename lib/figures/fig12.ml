@@ -7,22 +7,24 @@ type series = {
 let runtimes = [ Runtime.Run.dthreads; Runtime.Run.consequence_ic ]
 
 let measure ?(threads = Fig10.threads_sweep) ?(seed = 1) () =
-  List.concat_map
-    (fun name ->
+  let pairs =
+    List.concat_map
+      (fun name -> List.map (fun rt -> (name, rt)) runtimes)
+      Workload.Registry.fig11_set
+  in
+  Sim.Par.map_list
+    (fun (name, rt) ->
       let program = (Workload.Registry.find name).Workload.Registry.program in
-      List.map
-        (fun rt ->
-          let points =
-            List.map
-              (fun n ->
-                ( n,
-                  (Runtime.Run.run rt ~seed ~nthreads:n program).Stats.Run_result.peak_mem_pages
-                ))
-              threads
-          in
-          { benchmark = name; runtime = Runtime.Run.name rt; points })
-        runtimes)
-    Workload.Registry.fig11_set
+      let points =
+        List.map
+          (fun n ->
+            ( n,
+              (Runtime.Run.run rt ~seed ~nthreads:n program).Stats.Run_result.peak_mem_pages
+            ))
+          threads
+      in
+      { benchmark = name; runtime = Runtime.Run.name rt; points })
+    pairs
 
 let run ?threads ?seed () =
   let series = measure ?threads ?seed () in

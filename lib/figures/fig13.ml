@@ -14,23 +14,34 @@ let optimizations =
   ]
 
 let measure ?(threads = 8) ?(seed = 1) () =
-  List.map
-    (fun name ->
-      let program = (Workload.Registry.find name).Workload.Registry.program in
-      let base_wall =
-        (Runtime.Det_rt.run Runtime.Config.consequence_ic ~seed ~nthreads:threads program)
-          .Stats.Run_result.wall_ns
-      in
+  (* One job per (benchmark, config): the baseline config first, then
+     each optimization disabled in turn. *)
+  let cfgs =
+    Runtime.Config.consequence_ic
+    :: List.map (fun (_, disable) -> disable Runtime.Config.consequence_ic) optimizations
+  in
+  let ncfg = List.length cfgs in
+  let names = Workload.Registry.fig13_set in
+  let jobs = List.concat_map (fun name -> List.map (fun cfg -> (name, cfg)) cfgs) names in
+  let walls =
+    Array.of_list
+      (Sim.Par.map_list
+         (fun (name, cfg) ->
+           let program = (Workload.Registry.find name).Workload.Registry.program in
+           (Runtime.Det_rt.run cfg ~seed ~nthreads:threads program).Stats.Run_result.wall_ns)
+         jobs)
+  in
+  List.mapi
+    (fun k name ->
+      let base_wall = walls.(k * ncfg) in
       let speedups =
-        List.map
-          (fun (opt_name, disable) ->
-            let cfg = disable Runtime.Config.consequence_ic in
-            let wall = (Runtime.Det_rt.run cfg ~seed ~nthreads:threads program).Stats.Run_result.wall_ns in
-            (opt_name, float_of_int wall /. float_of_int base_wall))
+        List.mapi
+          (fun j (opt_name, _) ->
+            (opt_name, float_of_int walls.((k * ncfg) + 1 + j) /. float_of_int base_wall))
           optimizations
       in
       { benchmark = name; speedups })
-    Workload.Registry.fig13_set
+    names
 
 let run ?threads ?seed () =
   let rows = measure ?threads ?seed () in

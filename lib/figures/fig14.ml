@@ -13,16 +13,24 @@ let configs () =
   @ [ ("adaptive", Runtime.Config.consequence_ic) ]
 
 let measure ?(threads = 8) ?(seed = 1) () =
-  List.map
-    (fun (level, cfg) ->
-      let walls =
-        List.map
-          (fun name ->
-            let program = (Workload.Registry.find name).Workload.Registry.program in
-            (name, (Runtime.Det_rt.run cfg ~seed ~nthreads:threads program).Stats.Run_result.wall_ns))
-          Workload.Registry.fig14_set
-      in
-      { level; walls })
+  let jobs =
+    List.concat_map
+      (fun (level, cfg) ->
+        List.map (fun name -> (level, cfg, name)) Workload.Registry.fig14_set)
+      (configs ())
+  in
+  let walls =
+    Sim.Par.map_list
+      (fun (_, cfg, name) ->
+        let program = (Workload.Registry.find name).Workload.Registry.program in
+        (name, (Runtime.Det_rt.run cfg ~seed ~nthreads:threads program).Stats.Run_result.wall_ns))
+      jobs
+  in
+  let per_level = List.length Workload.Registry.fig14_set in
+  let walls = Array.of_list walls in
+  List.mapi
+    (fun k (level, _) ->
+      { level; walls = Array.to_list (Array.sub walls (k * per_level) per_level) })
     (configs ())
 
 let run ?threads ?seed () =

@@ -22,24 +22,26 @@ let row_of ~label ~runtime bd =
 let is_worker ts = ts.Stats.Run_result.thread_name <> "main"
 
 let measure ?(threads = 8) ?(seed = 1) () =
-  List.concat_map
-    (fun name ->
+  let pairs =
+    List.concat_map
+      (fun name -> List.map (fun rt -> (name, rt)) runtimes)
+      Workload.Registry.fig15_set
+  in
+  Sim.Par.concat_map
+    (fun (name, rt) ->
       let program = (Workload.Registry.find name).Workload.Registry.program in
-      List.concat_map
-        (fun rt ->
-          let res = Runtime.Run.run rt ~seed ~nthreads:threads program in
-          let rt_name = Runtime.Run.name rt in
-          if name = "ferret" then
-            (* Split the first pipeline stage from the rest (section 5.2). *)
-            let seg ts = ts.Stats.Run_result.thread_name = Workload.Ferret.stage1_name in
-            [
-              row_of ~label:"ferret_1" ~runtime:rt_name (aggregate res seg);
-              row_of ~label:"ferret_n" ~runtime:rt_name
-                (aggregate res (fun ts -> is_worker ts && not (seg ts)));
-            ]
-          else [ row_of ~label:name ~runtime:rt_name (aggregate res is_worker) ])
-        runtimes)
-    Workload.Registry.fig15_set
+      let res = Runtime.Run.run rt ~seed ~nthreads:threads program in
+      let rt_name = Runtime.Run.name rt in
+      if name = "ferret" then
+        (* Split the first pipeline stage from the rest (section 5.2). *)
+        let seg ts = ts.Stats.Run_result.thread_name = Workload.Ferret.stage1_name in
+        [
+          row_of ~label:"ferret_1" ~runtime:rt_name (aggregate res seg);
+          row_of ~label:"ferret_n" ~runtime:rt_name
+            (aggregate res (fun ts -> is_worker ts && not (seg ts)));
+        ]
+      else [ row_of ~label:name ~runtime:rt_name (aggregate res is_worker) ])
+    pairs
 
 let run ?threads ?seed () =
   let rows = measure ?threads ?seed () in

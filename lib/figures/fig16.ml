@@ -1,5 +1,5 @@
 let measure ?(threads = 8) ?(seed = 1) () =
-  List.map
+  Sim.Par.map_list
     (fun name ->
       let program = (Workload.Registry.find name).Workload.Registry.program in
       Hb.Lrc_study.run ~seed ~nthreads:threads program)

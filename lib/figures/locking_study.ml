@@ -24,19 +24,22 @@ let measure ?(threads = 8) ?(seed = 1) () =
   (* Coarsening would hide the lock algorithm; disable it for both
      variants so the comparison isolates blocking vs polling. *)
   let base = Runtime.Config.without_coarsening Runtime.Config.consequence_ic in
-  let run_cfg variant cfg =
-    let r = Runtime.Det_rt.run cfg ~seed ~nthreads:threads contended in
-    {
-      variant;
-      wall_ns = r.Stats.Run_result.wall_ns;
-      token_acquisitions = r.Stats.Run_result.token_acquisitions;
-    }
+  let variants =
+    ("blocking", base)
+    :: List.map
+         (fun k ->
+           (Printf.sprintf "polling-%d" k, Runtime.Config.with_polling_locks base ~increment:k))
+         increments
   in
-  run_cfg "blocking" base
-  :: List.map
-       (fun k ->
-         run_cfg (Printf.sprintf "polling-%d" k) (Runtime.Config.with_polling_locks base ~increment:k))
-       increments
+  Sim.Par.map_list
+    (fun (variant, cfg) ->
+      let r = Runtime.Det_rt.run cfg ~seed ~nthreads:threads contended in
+      {
+        variant;
+        wall_ns = r.Stats.Run_result.wall_ns;
+        token_acquisitions = r.Stats.Run_result.token_acquisitions;
+      })
+    variants
 
 let run ?threads ?seed () =
   let rows = measure ?threads ?seed () in

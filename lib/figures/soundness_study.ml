@@ -7,21 +7,35 @@ type row = {
 let noise_levels = [ 0; 100; 10_000; 100_000 ]
 
 let measure ?(programs = 12) ?(threads = 6) () =
-  List.map
-    (fun ppm ->
-      let cfg =
-        if ppm = 0 then Runtime.Config.consequence_ic
-        else Runtime.Config.with_counter_jitter Runtime.Config.consequence_ic ~ppm
-      in
-      let divergent = ref 0 in
-      for prog_seed = 1 to programs do
+  (* One job per (noise level, synthetic program); counts are summed back
+     per level in input order. *)
+  let jobs =
+    List.concat_map
+      (fun ppm -> List.init programs (fun k -> (ppm, k + 1)))
+      noise_levels
+  in
+  let diverged =
+    Sim.Par.map_list
+      (fun (ppm, prog_seed) ->
+        let cfg =
+          if ppm = 0 then Runtime.Config.consequence_ic
+          else Runtime.Config.with_counter_jitter Runtime.Config.consequence_ic ~ppm
+        in
         let program = Workload.Synthetic.make ~seed:prog_seed () in
         let witness seed =
           Stats.Run_result.deterministic_witness
             (Runtime.Det_rt.run cfg ~seed ~nthreads:threads program)
         in
         let ws = List.map witness [ 1; 31; 77 ] in
-        if List.length (List.sort_uniq compare ws) > 1 then incr divergent
+        List.length (List.sort_uniq compare ws) > 1)
+      jobs
+  in
+  let diverged = Array.of_list diverged in
+  List.mapi
+    (fun i ppm ->
+      let divergent = ref 0 in
+      for k = 0 to programs - 1 do
+        if diverged.((i * programs) + k) then incr divergent
       done;
       { ppm; programs; divergent = !divergent })
     noise_levels

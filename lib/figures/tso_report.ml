@@ -1,7 +1,10 @@
 let measure () =
-  List.concat_map
-    (fun test -> List.map (fun rt -> Tso.Checker.run_test rt test) Runtime.Run.all)
-    Tso.Litmus.all
+  let pairs =
+    List.concat_map
+      (fun test -> List.map (fun rt -> (test, rt)) Runtime.Run.all)
+      Tso.Litmus.all
+  in
+  Sim.Par.map_list (fun (test, rt) -> Tso.Checker.run_test rt test) pairs
 
 let run () =
   let verdicts = measure () in

@@ -8,10 +8,27 @@ let check_lengths a b name =
   if Bytes.length a <> Bytes.length b then
     invalid_arg (Printf.sprintf "Page.%s: length mismatch (%d vs %d)" name (Bytes.length a) (Bytes.length b))
 
+(* The scans below compare 8 bytes at a time and only fall back to
+   byte-at-a-time inside a mismatching word.  Merges are sparse in
+   practice (a thread touches a few bytes of a page), so the common case
+   is a straight word-equality sweep.  The unchecked 64-bit load is safe:
+   both loops only dereference offsets with [off + 8 <= length], which
+   [check_lengths] has validated for every operand. *)
+external unsafe_get_int64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+
 let diff_count ~twin ~local =
   check_lengths twin local "diff_count";
+  let len = Bytes.length twin in
+  let words = len lsr 3 in
   let n = ref 0 in
-  for i = 0 to Bytes.length twin - 1 do
+  for w = 0 to words - 1 do
+    let off = w lsl 3 in
+    if unsafe_get_int64 twin off <> unsafe_get_int64 local off then
+      for i = off to off + 7 do
+        if Bytes.unsafe_get twin i <> Bytes.unsafe_get local i then incr n
+      done
+  done;
+  for i = words lsl 3 to len - 1 do
     if Bytes.unsafe_get twin i <> Bytes.unsafe_get local i then incr n
   done;
   !n
@@ -19,8 +36,21 @@ let diff_count ~twin ~local =
 let merge_into ~twin ~local ~target =
   check_lengths twin local "merge_into";
   check_lengths twin target "merge_into";
+  let len = Bytes.length twin in
+  let words = len lsr 3 in
   let n = ref 0 in
-  for i = 0 to Bytes.length twin - 1 do
+  for w = 0 to words - 1 do
+    let off = w lsl 3 in
+    if unsafe_get_int64 twin off <> unsafe_get_int64 local off then
+      for i = off to off + 7 do
+        let b = Bytes.unsafe_get local i in
+        if Bytes.unsafe_get twin i <> b then begin
+          Bytes.unsafe_set target i b;
+          incr n
+        end
+      done
+  done;
+  for i = words lsl 3 to len - 1 do
     let b = Bytes.unsafe_get local i in
     if Bytes.unsafe_get twin i <> b then begin
       Bytes.unsafe_set target i b;

@@ -18,14 +18,16 @@ val copy : t -> t
 val equal : t -> t -> bool
 
 val diff_count : twin:t -> local:t -> int
-(** Number of bytes the local copy changed relative to its twin. *)
+(** Number of bytes the local copy changed relative to its twin.
+    Scans 8 bytes at a time, descending to byte granularity only inside
+    mismatching words. *)
 
 val merge_into : twin:t -> local:t -> target:t -> int
 (** Apply the thread's modifications (bytes where [local] differs from
     [twin]) onto [target], in place.  Returns the number of bytes written.
     All three pages must have equal length.  This is the last-writer-wins
     byte merge: bytes the thread did not touch keep [target]'s (i.e. the
-    latest committed) value. *)
+    latest committed) value.  Word-level scan as in {!diff_count}. *)
 
 val hash_into : Sim.Fnv.t -> t -> Sim.Fnv.t
 (** Fold the page contents into a determinism-witness hash. *)

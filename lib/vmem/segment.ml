@@ -2,19 +2,78 @@ type version = int
 
 type entry = { committer : int; page_idxs : int array }
 
+(* Per-page snapshot history: versions ascending, live entries in
+   [off, off+len).  Appends go at the end (commits create monotonically
+   increasing versions); GC drops an obsolete prefix by advancing [off].
+   Lookup of "newest snapshot at version <= v" is a binary search, with an
+   O(1) fast path for the common latest-version read. *)
+type hist = {
+  mutable vs : int array;
+  mutable ps : Page.t array;
+  mutable off : int;
+  mutable len : int;
+}
+
 type t = {
   name : string;
   page_size : int;
   npages : int;
-  (* Per-page snapshot history, newest first.  Every history implicitly
-     ends with the shared zero page at version 0. *)
-  histories : (version * Page.t) list array;
+  histories : hist array;
   last_mod_arr : int array;
   versions : entry Sim.Vec.t; (* index i holds version i+1 *)
   zero : Page.t;
   mutable live : int;
   mutable gc_cursor : int;
+  (* Generation-stamped scratch for distinct-page window scans: page [i]
+     was already counted in the current scan iff [seen_gen.(i) = gen].
+     Replaces a per-call hashtable with zero allocation. *)
+  seen_gen : int array;
+  mutable gen : int;
 }
+
+let hist_create () = { vs = [||]; ps = [||]; off = 0; len = 0 }
+
+let hist_append h ~zero v p =
+  let cap = Array.length h.vs in
+  if h.off + h.len = cap then begin
+    if h.len * 2 <= cap && cap > 0 then begin
+      (* Plenty of dead prefix: compact in place. *)
+      Array.blit h.vs h.off h.vs 0 h.len;
+      Array.blit h.ps h.off h.ps 0 h.len;
+      Array.fill h.ps h.len (cap - h.len) zero
+    end
+    else begin
+      let new_cap = max 4 (h.len * 2) in
+      let vs = Array.make new_cap 0 and ps = Array.make new_cap zero in
+      Array.blit h.vs h.off vs 0 h.len;
+      Array.blit h.ps h.off ps 0 h.len;
+      h.vs <- vs;
+      h.ps <- ps
+    end;
+    h.off <- 0
+  end;
+  h.vs.(h.off + h.len) <- v;
+  h.ps.(h.off + h.len) <- p;
+  h.len <- h.len + 1
+
+(* Index (into vs/ps) of the newest entry with version <= v, or -1. *)
+let hist_find h v =
+  if h.len = 0 || v < h.vs.(h.off) then -1
+  else begin
+    let last = h.off + h.len - 1 in
+    if v >= h.vs.(last) then last
+    else begin
+      (* Invariant: vs.(lo) <= v < vs.(hi). *)
+      let lo = ref h.off and hi = ref last in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if h.vs.(mid) <= v then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end
+
+let hist_latest h ~zero = if h.len = 0 then zero else h.ps.(h.off + h.len - 1)
 
 let create ?(name = "segment") ~pages ~page_size () =
   if pages <= 0 then invalid_arg "Segment.create: pages must be > 0";
@@ -23,12 +82,14 @@ let create ?(name = "segment") ~pages ~page_size () =
     name;
     page_size;
     npages = pages;
-    histories = Array.make pages [];
+    histories = Array.init pages (fun _ -> hist_create ());
     last_mod_arr = Array.make pages 0;
     versions = Sim.Vec.create ();
     zero = Page.create ~size:page_size;
     live = 0;
     gc_cursor = 0;
+    seen_gen = Array.make pages 0;
+    gen = 0;
   }
 
 let name t = t.name
@@ -42,11 +103,9 @@ let check_page t i =
 
 let read_page t ~version i =
   check_page t i;
-  let rec find = function
-    | [] -> t.zero
-    | (v, page) :: rest -> if v <= version then page else find rest
-  in
-  find t.histories.(i)
+  let h = t.histories.(i) in
+  let k = hist_find h version in
+  if k < 0 then t.zero else h.ps.(k)
 
 let last_mod t i =
   check_page t i;
@@ -55,19 +114,19 @@ let last_mod t i =
 let commit t ~committer ~pages =
   let vnum = current_version t + 1 in
   let idxs = Array.of_list (List.map fst pages) in
-  let seen = Hashtbl.create (Array.length idxs) in
+  t.gen <- t.gen + 1;
   Array.iter
     (fun i ->
       check_page t i;
-      if Hashtbl.mem seen i then
+      if t.seen_gen.(i) = t.gen then
         invalid_arg (Printf.sprintf "Segment %s: duplicate page %d in commit" t.name i);
-      Hashtbl.replace seen i ())
+      t.seen_gen.(i) <- t.gen)
     idxs;
   List.iter
     (fun (i, page) ->
       if Bytes.length page <> t.page_size then
         invalid_arg (Printf.sprintf "Segment %s: bad page size in commit" t.name);
-      t.histories.(i) <- (vnum, page) :: t.histories.(i);
+      hist_append t.histories.(i) ~zero:t.zero vnum page;
       t.last_mod_arr.(i) <- vnum;
       t.live <- t.live + 1)
     pages;
@@ -89,24 +148,37 @@ let fold_modified_since t ~since f acc =
   !acc
 
 let modified_since t ~since =
-  let seen = Hashtbl.create 64 in
-  let () =
+  t.gen <- t.gen + 1;
+  let distinct =
     fold_modified_since t ~since
-      (fun () entry -> Array.iter (fun i -> Hashtbl.replace seen i ()) entry.page_idxs)
-      ()
+      (fun acc entry ->
+        Array.fold_left
+          (fun acc i ->
+            if t.seen_gen.(i) = t.gen then acc
+            else begin
+              t.seen_gen.(i) <- t.gen;
+              i :: acc
+            end)
+          acc entry.page_idxs)
+      []
   in
-  Hashtbl.fold (fun i () acc -> i :: acc) seen [] |> List.sort compare
+  List.sort (fun (a : int) b -> compare a b) distinct
 
 let modified_since_by_others t ~since ~tid =
-  let seen = Hashtbl.create 64 in
-  let () =
-    fold_modified_since t ~since
-      (fun () entry ->
-        if entry.committer <> tid then
-          Array.iter (fun i -> Hashtbl.replace seen i ()) entry.page_idxs)
-      ()
-  in
-  Hashtbl.length seen
+  t.gen <- t.gen + 1;
+  fold_modified_since t ~since
+    (fun acc entry ->
+      if entry.committer = tid then acc
+      else
+        Array.fold_left
+          (fun acc i ->
+            if t.seen_gen.(i) = t.gen then acc
+            else begin
+              t.seen_gen.(i) <- t.gen;
+              acc + 1
+            end)
+          acc entry.page_idxs)
+    0
 
 let versions_created t = current_version t
 let live_snapshots t = t.live
@@ -120,20 +192,18 @@ let touched_pages t =
 
 let gc_page t ~min_base i =
   (* Keep the newest snapshot at version <= min_base plus everything newer;
-     drop the rest.  Returns snapshots dropped. *)
-  let rec split kept = function
-    | [] -> (List.rev kept, [])
-    | (v, page) :: rest ->
-        if v <= min_base then (List.rev ((v, page) :: kept), rest)
-        else split ((v, page) :: kept) rest
-  in
-  let kept, dropped = split [] t.histories.(i) in
-  if dropped = [] then 0
+     drop the obsolete prefix.  Returns snapshots dropped. *)
+  let h = t.histories.(i) in
+  let k = hist_find h min_base in
+  if k <= h.off then 0
   else begin
-    t.histories.(i) <- kept;
-    let n = List.length dropped in
-    t.live <- t.live - n;
-    n
+    let dropped = k - h.off in
+    (* Release the dropped snapshots so the runtime GC can reclaim them. *)
+    Array.fill h.ps h.off dropped t.zero;
+    h.off <- k;
+    h.len <- h.len - dropped;
+    t.live <- t.live - dropped;
+    dropped
   end
 
 let gc t ~min_base ~budget =
@@ -148,9 +218,8 @@ let gc t ~min_base ~budget =
   !reclaimed
 
 let hash t =
-  let v = current_version t in
   let h = ref Sim.Fnv.init in
   for i = 0 to t.npages - 1 do
-    h := Page.hash_into !h (read_page t ~version:v i)
+    h := Page.hash_into !h (hist_latest t.histories.(i) ~zero:t.zero)
   done;
   Sim.Fnv.to_hex !h

@@ -29,7 +29,8 @@ val current_version : t -> version
 
 val read_page : t -> version:version -> int -> Page.t
 (** [read_page t ~version i] is the snapshot of page [i] visible at
-    [version].  The result must not be mutated. *)
+    [version].  The result must not be mutated.  O(log h) in the page's
+    history depth [h], O(1) when [version] is the current version. *)
 
 val last_mod : t -> int -> version
 (** Version that last modified the page (0 if never written). *)

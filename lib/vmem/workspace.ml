@@ -24,11 +24,17 @@ type stats = {
   mutable updates : int;
 }
 
+(* Resident local copies come in two flavors:
+   - owned buffers the thread may mutate (every dirty page is owned);
+   - aliases of immutable segment snapshots ([aliased] holds their
+     indices), installed by commit and update so that clean pages cost no
+     copy.  An aliased page is copied lazily on the next write fault. *)
 type t = {
   seg : Segment.t;
   tid : int;
   mutable base : Segment.version;
   local : (int, Page.t) Hashtbl.t; (* resident local copies *)
+  aliased : (int, unit) Hashtbl.t; (* local entries that alias snapshots *)
   twins : (int, Page.t) Hashtbl.t; (* pristine copies of dirty pages *)
   dirty : (int, unit) Hashtbl.t;
   stats : stats;
@@ -40,6 +46,7 @@ let create seg ~tid =
     tid;
     base = Segment.current_version seg;
     local = Hashtbl.create 64;
+    aliased = Hashtbl.create 64;
     twins = Hashtbl.create 16;
     dirty = Hashtbl.create 16;
     stats =
@@ -79,19 +86,25 @@ let view_page t i =
   | Some page -> page
   | None -> Segment.read_page t.seg ~version:t.base i
 
-(* Fault a page into the local workspace for writing: copy the visible
-   content, keep a twin for later diffing, mark dirty. *)
+(* Fault a page into the local workspace for writing: make sure the
+   resident copy is an owned, mutable buffer, keep a twin with the
+   pristine pre-write content for later diffing, mark dirty.  The twin
+   never needs a copy when the pristine content is itself an immutable
+   snapshot (first write to a non-resident or aliased page). *)
 let fault_for_write t i =
   if not (Hashtbl.mem t.dirty i) then begin
-    let local =
-      match Hashtbl.find_opt t.local i with
-      | Some page -> page
-      | None ->
-          let copy = Page.copy (Segment.read_page t.seg ~version:t.base i) in
-          Hashtbl.replace t.local i copy;
-          copy
-    in
-    Hashtbl.replace t.twins i (Page.copy local);
+    (match Hashtbl.find_opt t.local i with
+    | Some page ->
+        if Hashtbl.mem t.aliased i then begin
+          Hashtbl.replace t.local i (Page.copy page);
+          Hashtbl.remove t.aliased i;
+          Hashtbl.replace t.twins i page
+        end
+        else Hashtbl.replace t.twins i (Page.copy page)
+    | None ->
+        let snap = Segment.read_page t.seg ~version:t.base i in
+        Hashtbl.replace t.local i (Page.copy snap);
+        Hashtbl.replace t.twins i snap);
     Hashtbl.replace t.dirty i ();
     t.stats.write_faults <- t.stats.write_faults + 1
   end
@@ -124,20 +137,43 @@ let write t ~addr buf =
     pos := !pos + n
   done
 
+(* 8-byte accessors: the common case (the access stays inside one page)
+   reads or writes the resident buffer directly, with no intermediate
+   allocation; only page-spanning accesses fall back to the generic
+   buffer-based path. *)
 let read_int64 t ~addr =
-  let b = read t ~addr ~len:8 in
-  Bytes.get_int64_le b 0
+  check_range t ~addr ~len:8;
+  let psize = page_size t in
+  let off = addr mod psize in
+  if off + 8 <= psize then Bytes.get_int64_le (view_page t (addr / psize)) off
+  else begin
+    let b = read t ~addr ~len:8 in
+    Bytes.get_int64_le b 0
+  end
 
 let write_int64 t ~addr v =
-  let b = Bytes.create 8 in
-  Bytes.set_int64_le b 0 v;
-  write t ~addr b
+  check_range t ~addr ~len:8;
+  let psize = page_size t in
+  let off = addr mod psize in
+  if off + 8 <= psize then begin
+    let pg = addr / psize in
+    fault_for_write t pg;
+    Bytes.set_int64_le (Hashtbl.find t.local pg) off v
+  end
+  else begin
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 v;
+    write t ~addr b
+  end
 
 let read_int t ~addr = Int64.to_int (read_int64 t ~addr)
 let write_int t ~addr v = write_int64 t ~addr (Int64.of_int v)
 
 let commit t =
-  let dirty = Hashtbl.fold (fun i () acc -> i :: acc) t.dirty [] |> List.sort compare in
+  let dirty =
+    Hashtbl.fold (fun i () acc -> i :: acc) t.dirty []
+    |> List.sort (fun (a : int) b -> compare a b)
+  in
   match dirty with
   | [] ->
       {
@@ -164,7 +200,13 @@ let commit t =
               merged_bytes := !merged_bytes + nbytes;
               (i, target)
             end
-            else (i, Page.copy local))
+            else begin
+              (* Unconflicted: hand the local buffer itself to the segment
+                 as the immutable snapshot and keep it resident as an
+                 alias — no copy.  The next write fault copies it back. *)
+              Hashtbl.replace t.aliased i ();
+              (i, local)
+            end)
           dirty
       in
       let version = Segment.commit t.seg ~committer:t.tid ~pages:snapshots in
@@ -192,18 +234,23 @@ let update t =
   else begin
     let propagated = Segment.modified_since_by_others t.seg ~since:from_version ~tid:t.tid in
     let refreshed = ref 0 in
-    let modified = Segment.modified_since t.seg ~since:from_version in
-    List.iter
-      (fun i ->
-        match Hashtbl.find_opt t.local i with
-        | None -> ()
-        | Some local ->
-            let fresh = Segment.read_page t.seg ~version:to_version i in
-            if not (Page.equal local fresh) then begin
-              Bytes.blit fresh 0 local 0 (Bytes.length fresh);
-              incr refreshed
-            end)
-      modified;
+    (* Refresh stale residents: a resident copy of page [i] can only be
+       out of date if some commit in (from_version, to_version] touched
+       [i], i.e. if its last modifier is newer than our base — no need to
+       materialize the modified-page list. *)
+    Hashtbl.filter_map_inplace
+      (fun i local ->
+        if Segment.last_mod t.seg i > from_version then begin
+          let fresh = Segment.read_page t.seg ~version:to_version i in
+          if not (Page.equal local fresh) then begin
+            incr refreshed;
+            Hashtbl.replace t.aliased i ();
+            Some fresh
+          end
+          else Some local
+        end
+        else Some local)
+      t.local;
     t.base <- to_version;
     t.stats.updates <- t.stats.updates + 1;
     t.stats.pages_propagated <- t.stats.pages_propagated + propagated;
@@ -214,4 +261,5 @@ let update t =
 let drop_residents t =
   if is_dirty t then invalid_arg "Workspace.drop_residents: dirty pages present";
   Hashtbl.reset t.local;
+  Hashtbl.reset t.aliased;
   Hashtbl.reset t.twins

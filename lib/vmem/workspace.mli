@@ -16,7 +16,15 @@
     {!commit} publishes the dirty pages as a new segment version (merging
     byte-wise against concurrent committers, last-writer-wins) and
     {!update} advances the base version to the newest committed one.
-    Together they implement the paper's [convCommitAndUpdateMem()]. *)
+    Together they implement the paper's [convCommitAndUpdateMem()].
+
+    Clean resident pages may internally {e alias} immutable segment
+    snapshots instead of holding private copies: an unconflicted commit
+    hands its buffer to the segment and keeps reading it in place, and
+    an update that must refresh a stale resident simply re-points it at
+    the fresh snapshot.  The next write fault copies the page back into
+    private ownership, so the observable semantics (and all counters)
+    are exactly those of the always-copy scheme, minus the copies. *)
 
 type t
 

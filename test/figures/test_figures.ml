@@ -151,6 +151,23 @@ let test_chunking_study () =
   check_bool "small chunks slower" true
     (smallest.Figures.Chunking_study.wall_ns > sync_only.Figures.Chunking_study.wall_ns)
 
+let test_parallel_output_identical () =
+  (* The domain-parallel sweeps must render byte-for-byte what the
+     sequential sweeps render, for any job count. *)
+  let render_all () =
+    String.concat "\n"
+      [
+        Figures.Fig_output.render (Figures.Tso_report.run ());
+        Figures.Fig_output.render (Figures.Locking_study.run ~threads:4 ());
+        Figures.Fig_output.render (Figures.Fig16.run ~threads:4 ());
+      ]
+  in
+  Sim.Par.set_jobs 1;
+  let seq = render_all () in
+  Sim.Par.set_jobs 4;
+  let par = Fun.protect ~finally:(fun () -> Sim.Par.set_jobs 1) render_all in
+  Alcotest.(check string) "sequential and -j 4 renderings byte-identical" seq par
+
 let test_table_rendering () =
   let t = Stats.Table.create ~columns:[ "a"; "b" ] in
   Stats.Table.add_row t [ "1"; "22" ];
@@ -182,6 +199,7 @@ let () =
           Alcotest.test_case "polling locks deterministic" `Quick
             test_polling_locks_deterministic;
           Alcotest.test_case "chunking study" `Quick test_chunking_study;
+          Alcotest.test_case "parallel output identical" `Quick test_parallel_output_identical;
           Alcotest.test_case "table rendering" `Quick test_table_rendering;
         ] );
     ]

@@ -381,6 +381,32 @@ let test_ws_read_does_not_fault () =
   check_int "reads don't fault" 0 (Vmem.Workspace.stats ws).write_faults;
   check_int "reads don't make residents" 0 (Vmem.Workspace.resident_pages ws)
 
+let test_page_diff_word_boundary () =
+  (* A single mismatching byte at every word boundary (first/last byte of
+     each 8-byte word) must be found by the word-level scan. *)
+  let size = 32 in
+  let twin = Bytes.make size 'a' in
+  List.iter
+    (fun i ->
+      let local = Bytes.copy twin in
+      Bytes.set local i 'b';
+      check_int (Printf.sprintf "mismatch at byte %d" i) 1
+        (Vmem.Page.diff_count ~twin ~local))
+    [ 0; 7; 8; 15; 16; 23; 24; 31 ]
+
+let test_page_diff_unaligned_tail () =
+  (* Sizes that are not a multiple of 8 exercise the byte-tail loop. *)
+  List.iter
+    (fun size ->
+      let twin = Bytes.make size 'a' in
+      let local = Bytes.copy twin in
+      if size > 0 then Bytes.set local (size - 1) 'b';
+      check_int
+        (Printf.sprintf "last byte of %d-byte page" size)
+        (if size > 0 then 1 else 0)
+        (Vmem.Page.diff_count ~twin ~local))
+    [ 0; 1; 3; 7; 9; 15; 17; 63; 65 ]
+
 (* ------------------------------------------------------------------ *)
 (* Property tests                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -506,6 +532,57 @@ let prop_gc_never_affects_readers_at_min_base =
       let after = List.init (vmax - min_base + 1) (fun k -> snapshot (min_base + k)) in
       before = after)
 
+(* Byte-at-a-time oracles for the word-level page scans. *)
+let oracle_diff_count ~twin ~local =
+  let n = ref 0 in
+  for i = 0 to Bytes.length twin - 1 do
+    if Bytes.get twin i <> Bytes.get local i then incr n
+  done;
+  !n
+
+let oracle_merge ~twin ~local ~target =
+  let t = Bytes.copy target in
+  let n = ref 0 in
+  for i = 0 to Bytes.length twin - 1 do
+    if Bytes.get twin i <> Bytes.get local i then begin
+      Bytes.set t i (Bytes.get local i);
+      incr n
+    end
+  done;
+  (t, !n)
+
+(* Page sizes deliberately straddle multiples of 8 so both the word loop
+   and the byte tail are exercised; mutation positions are arbitrary, so
+   word-boundary mismatches occur routinely. *)
+let mutate base muts =
+  let b = Bytes.copy base in
+  let size = Bytes.length b in
+  if size > 0 then List.iter (fun (pos, c) -> Bytes.set b (pos mod size) c) muts;
+  b
+
+let prop_word_diff_matches_byte_oracle =
+  QCheck.Test.make ~name:"word-level diff_count matches byte-at-a-time oracle" ~count:300
+    QCheck.(pair (int_range 0 67) (small_list (pair small_nat printable_char)))
+    (fun (size, muts) ->
+      let twin = Bytes.init size (fun i -> Char.chr (((i * 131) + 7) land 0xff)) in
+      let local = mutate twin muts in
+      Vmem.Page.diff_count ~twin ~local = oracle_diff_count ~twin ~local)
+
+let prop_word_merge_matches_byte_oracle =
+  QCheck.Test.make ~name:"word-level merge_into matches byte-at-a-time oracle" ~count:300
+    QCheck.(
+      triple (int_range 0 67)
+        (small_list (pair small_nat printable_char))
+        (small_list (pair small_nat printable_char)))
+    (fun (size, muts, tmuts) ->
+      let twin = Bytes.init size (fun i -> Char.chr ((i * 37) land 0xff)) in
+      let local = mutate twin muts in
+      let target = mutate twin tmuts in
+      let expected, expected_n = oracle_merge ~twin ~local ~target in
+      let actual = Bytes.copy target in
+      let n = Vmem.Page.merge_into ~twin ~local ~target:actual in
+      n = expected_n && Bytes.equal actual expected)
+
 let () =
   Alcotest.run "vmem"
     [
@@ -519,6 +596,8 @@ let () =
           Alcotest.test_case "merge overlap last-writer-wins" `Quick
             test_page_merge_overlap_last_writer_wins;
           Alcotest.test_case "merge length mismatch" `Quick test_page_merge_length_mismatch;
+          Alcotest.test_case "diff at word boundaries" `Quick test_page_diff_word_boundary;
+          Alcotest.test_case "diff unaligned tail" `Quick test_page_diff_unaligned_tail;
         ] );
       ( "segment",
         [
@@ -566,5 +645,7 @@ let () =
           QCheck_alcotest.to_alcotest prop_disjoint_writers_merge_to_union;
           QCheck_alcotest.to_alcotest prop_gc_never_affects_readers_at_min_base;
           QCheck_alcotest.to_alcotest prop_workspace_gc_interplay;
+          QCheck_alcotest.to_alcotest prop_word_diff_matches_byte_oracle;
+          QCheck_alcotest.to_alcotest prop_word_merge_matches_byte_oracle;
         ] );
     ]
