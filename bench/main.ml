@@ -9,7 +9,7 @@
      bench/main.exe fig10 fig14     run selected sections
      bench/main.exe -j 4 all        fan the sweeps over 4 domains
    Sections: fig10 fig11 fig12 fig13 fig14 fig15 fig16 determinism tso
-   climit soundness locking chunking micro.
+   climit soundness locking chunking micro sched.
 
    [-j N] sets the worker-domain count for the figure sweeps (0 = one
    per recommended domain); results are gathered in input order, so the
@@ -22,7 +22,7 @@ let full_threads = [ 2; 4; 8; 16; 32 ]
 let section_names =
   [
     "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "determinism"; "tso";
-    "climit"; "soundness"; "locking"; "chunking"; "micro";
+    "climit"; "soundness"; "locking"; "chunking"; "micro"; "sched";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -153,9 +153,84 @@ let micro_tests () =
     heap_ops; gmic; fnv; end_to_end;
   ]
 
-let run_micro () =
+(* ------------------------------------------------------------------ *)
+(* Scheduler fast-path microbenchmarks                                *)
+(* ------------------------------------------------------------------ *)
+
+let sched_tests () =
   let open Bechamel in
-  print_endline "=== micro: Bechamel microbenchmarks of the core primitives ===";
+  let module Lc = Detclock.Logical_clock in
+  let module Tok = Detclock.Token in
+  let token_cycle =
+    (* The no-contention fast path a thread takes at every sync op when
+       nobody else wants the token: waitq insert/remove, the O(1)
+       eligibility read, published_of, poke. *)
+    Test.make ~name:"token: uncontended acquire + release cycle"
+      (Staged.stage
+         (let eng = Sim.Engine.create ~seed:1 () in
+          let clocks = Lc.create () in
+          let c = Lc.register clocks ~tid:0 in
+          let token = Tok.create eng clocks Tok.Instruction_count in
+          fun () ->
+            Lc.tick c 1;
+            Tok.wait token ~tid:0;
+            Tok.release token ~tid:0))
+  in
+  let token_handoff =
+    (* Full handoff machinery under contention: block, direct-handoff
+       wakeup, engine due-now dispatch. *)
+    Test.make ~name:"token: contended handoff (4 threads x 16 transfers)"
+      (Staged.stage (fun () ->
+           let eng = Sim.Engine.create ~seed:1 () in
+           let clocks = Lc.create () in
+           let token = Tok.create eng clocks Tok.Instruction_count in
+           for tid = 0 to 3 do
+             ignore
+               (Sim.Engine.spawn eng ~name:"t" (fun () ->
+                    let c = Lc.register clocks ~tid in
+                    for _ = 1 to 16 do
+                      Lc.tick c 100;
+                      Tok.poke token;
+                      Tok.wait token ~tid;
+                      Sim.Engine.advance eng 10;
+                      Tok.release token ~tid
+                    done;
+                    Lc.finish c;
+                    Tok.poke token))
+           done;
+           Sim.Engine.run eng))
+  in
+  let gmic_at n =
+    (* The point of the incremental index: the query must stay flat as
+       the thread count grows. *)
+    Test.make ~name:(Printf.sprintf "gmic query: %d threads" n)
+      (Staged.stage
+         (let clocks = Lc.create () in
+          let handles = List.init n (fun tid -> Lc.register clocks ~tid) in
+          List.iteri (fun i c -> Lc.tick c (i * 97)) handles;
+          fun () -> ignore (Lc.gmic_tid clocks)))
+  in
+  let heap_typed =
+    Test.make ~name:"event heap: 256 push + pop_min (reused arrays)"
+      (Staged.stage
+         (let h = Sim.Heap.create () in
+          fun () ->
+            for i = 0 to 255 do
+              Sim.Heap.push h ~key:(i * 7 mod 64) i
+            done;
+            while not (Sim.Heap.is_empty h) do
+              ignore (Sim.Heap.pop_min_exn h)
+            done))
+  in
+  [ token_cycle; token_handoff; gmic_at 2; gmic_at 8; gmic_at 32; gmic_at 64; heap_typed ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver shared by the micro and sched sections             *)
+(* ------------------------------------------------------------------ *)
+
+let run_bechamel ~id ~title tests =
+  let open Bechamel in
+  Printf.printf "=== %s: %s ===\n" id title;
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
@@ -172,16 +247,23 @@ let run_micro () =
               Printf.printf "%-55s %12.1f ns/run\n%!" name est
           | Some _ | None -> Printf.printf "%-55s (no estimate)\n%!" name)
         analyzed)
-    (micro_tests ());
+    tests;
   print_newline ();
   Obs.Json.Obj
     [
-      ("id", Obs.Json.String "micro");
-      ("title", Obs.Json.String "Bechamel microbenchmarks of the core primitives");
+      ("id", Obs.Json.String id);
+      ("title", Obs.Json.String title);
       ( "estimates_ns_per_run",
         Obs.Json.Obj
           (List.rev_map (fun (name, est) -> (name, Obs.Json.Float est)) !estimates) );
     ]
+
+let run_micro () =
+  run_bechamel ~id:"micro" ~title:"Bechamel microbenchmarks of the core primitives"
+    (micro_tests ())
+
+let run_sched () =
+  run_bechamel ~id:"sched" ~title:"Scheduler fast-path microbenchmarks" (sched_tests ())
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
@@ -211,6 +293,7 @@ let run_section ~threads name =
     | "locking" -> fig (fun () -> Figures.Locking_study.run ())
     | "chunking" -> fig (fun () -> Figures.Chunking_study.run ())
     | "micro" -> run_micro ()
+    | "sched" -> run_sched ()
     | other ->
         Printf.eprintf "unknown section %S; available: %s\n" other
           (String.concat " " section_names);

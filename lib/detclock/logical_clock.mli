@@ -14,7 +14,14 @@
     the paper's [clockPause()]/[clockResume()]: while paused, a thread is
     executing runtime-library code whose instructions must not count
     (they are nondeterministic); ticking a paused clock is a bug and
-    raises. *)
+    raises.
+
+    The registry maintains incremental (published, tid) min-heap indexes
+    over the active clocks and over the token's waiters, so {!gmic},
+    {!is_gmic} and {!next_waiting_gap} are O(1) reads; every clock
+    mutation updates the indexes in O(log n).  This mirrors the paper's
+    requirement (sections 3.2, 3.6) that GMIC arbitration be cheap enough
+    to run at every publication point. *)
 
 type t
 (** Registry of all thread clocks. *)
@@ -59,25 +66,51 @@ val fast_forward : clock -> to_count:int -> bool
 
 val gmic : t -> int option
 (** Tid of the GMIC thread: minimal (published, tid) among live,
-    non-departed threads.  [None] if no such thread. *)
+    non-departed threads.  [None] if no such thread.  O(1). *)
+
+val gmic_tid : t -> int
+(** Allocation-free {!gmic}: the GMIC tid, or -1 if no thread is
+    active. *)
 
 val is_gmic : t -> tid:int -> bool
-(** True iff [tid] is live, non-departed, and equal to {!gmic}. *)
+(** True iff [tid] is live, non-departed, and equal to {!gmic}.  O(1). *)
 
 val is_active : t -> tid:int -> bool
 (** True iff [tid] is registered, live and non-departed. *)
 
-val next_waiting_gap : t -> tid:int -> waiting:(int -> bool) -> int option
-(** For the adaptive-overflow rule (section 3.2): among live non-departed
-    threads [w] other than [tid] for which [waiting w] holds, find the one
-    with minimal (published, tid); return [Some (count_w - count_tid + 1)]
-    — how many more instructions [tid] must retire before that waiter
-    becomes GMIC — or [None] if nobody relevant is waiting.  The result
-    may be [<= 0] when the waiter already precedes [tid]. *)
+val published_of : t -> tid:int -> int option
+(** Published count of a live thread by tid; [None] if unregistered or
+    finished.  O(1) (no list build, unlike {!counts}). *)
+
+val set_waiting : t -> tid:int -> bool -> unit
+(** Mark/unmark [tid] as waiting for the global token.  Maintains the
+    waiter index behind {!next_waiting_gap}; called by [Token.wait].
+    The registry tracks the waiters of the single global token.  Raises
+    if [tid] is not registered. *)
+
+val is_waiting : t -> tid:int -> bool
+(** True iff [tid] is marked waiting and active. *)
+
+val waiting_count : t -> int
+(** Number of active threads marked waiting.  O(1). *)
+
+val next_waiting_gap : t -> tid:int -> int
+(** For the adaptive-overflow rule (section 3.2): among active waiting
+    threads [w] other than [tid], find the one with minimal
+    (published, tid); return [count_w - count_tid + 1] — how many more
+    instructions [tid] must retire before that waiter becomes GMIC — or
+    [0] if nobody relevant is waiting.  The result may be [<= 0] when the
+    waiter already precedes [tid]; callers treat any non-positive value
+    as "no gap to target".  O(1). *)
+
+val rr_successor : t -> turn:int -> int
+(** Round-robin successor: the smallest active tid >= [turn], wrapping to
+    the smallest active tid; -1 if no thread is active.  A single
+    allocation-free scan of the active index. *)
 
 val live_count : t -> int
 val active_count : t -> int
-(** Live and non-departed. *)
+(** Live and non-departed.  O(1). *)
 
 val counts : t -> (int * int) list
 (** [(tid, published)] for all live threads, ascending tid; for tests and

@@ -21,19 +21,20 @@ let next_interval t ~waiter_gap =
   t.scheduled <- t.scheduled + 1;
   match t.kind with
   | Fixed n -> n
-  | Adaptive _ -> (
-      match waiter_gap with
-      | Some gap when gap > 0 ->
-          (* Rule 2: overflow exactly when our clock exceeds the waiter's. *)
-          t.interval <- gap;
-          gap
-      | Some _ | None ->
-          (* Rule 3: nobody to notify soon; back off exponentially, but
-             bounded so waiters are never stranded behind a huge
-             interval. *)
-          let cap = match t.kind with Adaptive { cap; _ } -> cap | Fixed n -> n in
-          let n = t.interval in
-          t.interval <- min cap (t.interval * 2);
-          n)
+  | Adaptive _ ->
+      if waiter_gap > 0 then begin
+        (* Rule 2: overflow exactly when our clock exceeds the waiter's. *)
+        t.interval <- waiter_gap;
+        waiter_gap
+      end
+      else begin
+        (* Rule 3: nobody to notify soon; back off exponentially, but
+           bounded so waiters are never stranded behind a huge
+           interval. *)
+        let cap = match t.kind with Adaptive { cap; _ } -> cap | Fixed n -> n in
+        let n = t.interval in
+        t.interval <- min cap (t.interval * 2);
+        n
+      end
 
 let overflows_scheduled t = t.scheduled

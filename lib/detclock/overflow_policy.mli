@@ -41,12 +41,13 @@ val kind : t -> kind
 val begin_chunk : t -> unit
 (** Reset per-chunk state (rule 1). *)
 
-val next_interval : t -> waiter_gap:int option -> int
+val next_interval : t -> waiter_gap:int -> int
 (** Instructions until the next overflow should fire.  [waiter_gap] is
     the distance to the next-lowest waiting thread's clock (from
     {!Logical_clock.next_waiting_gap}), when we are the GMIC and somebody
-    waits on us: rule 2 targets the overflow exactly there.  [None]
-    applies rule 3 (doubling).  Always returns a value >= 1. *)
+    waits on us: rule 2 targets the overflow exactly there.  A
+    non-positive gap (0 = nobody relevant is waiting) applies rule 3
+    (doubling).  Always returns a value >= 1. *)
 
 val overflows_scheduled : t -> int
 (** Total intervals handed out; a proxy for interrupt overhead. *)

@@ -4,11 +4,11 @@ type t = {
   eng : Sim.Engine.t;
   clocks : Logical_clock.t;
   ordering : ordering;
-  mutable holder : int option;
-  waiters : (int, unit) Hashtbl.t;
+  mutable holder_tid : int; (* -1 = free *)
   mutable rr_turn : int; (* tid whose turn is next under round-robin *)
   mutable last_release_published : int;
   mutable acquisitions : int;
+  mutable wakeups : int; (* wakeup events posted by poke *)
 }
 
 let create eng clocks ordering =
@@ -16,64 +16,60 @@ let create eng clocks ordering =
     eng;
     clocks;
     ordering;
-    holder = None;
-    waiters = Hashtbl.create 16;
+    holder_tid = -1;
     rr_turn = 0;
     last_release_published = 0;
     acquisitions = 0;
+    wakeups = 0;
   }
 
 let ordering t = t.ordering
-let holder t = t.holder
-let is_waiting t ~tid = Hashtbl.mem t.waiters tid
-let waiting_count t = Hashtbl.length t.waiters
+let holder t = if t.holder_tid < 0 then None else Some t.holder_tid
+let is_waiting t ~tid = Logical_clock.is_waiting t.clocks ~tid
+let waiting_count t = Logical_clock.waiting_count t.clocks
 let last_release_published t = t.last_release_published
 let acquisitions t = t.acquisitions
+let wakeups t = t.wakeups
 
-(* Round-robin winner: the first live non-departed tid >= rr_turn, wrapping
-   to the smallest if none.  Derived from the clock registry so threads
-   that exit or depart are skipped without extra bookkeeping. *)
-let rr_winner t =
-  let live =
-    List.filter_map
-      (fun (tid, _) -> if Logical_clock.is_active t.clocks ~tid then Some tid else None)
-      (Logical_clock.counts t.clocks)
-  in
-  match live with
-  | [] -> None
-  | first :: _ -> (
-      match List.find_opt (fun tid -> tid >= t.rr_turn) live with
-      | Some tid -> Some tid
-      | None -> Some first)
+(* The unique thread that could take a free token right now, or -1: the
+   GMIC thread under instruction-count ordering, the round-robin
+   successor otherwise.  Both are O(1)/O(threads) index reads — no list
+   is built. *)
+let eligible_tid t =
+  if t.holder_tid >= 0 then -1
+  else
+    match t.ordering with
+    | Instruction_count -> Logical_clock.gmic_tid t.clocks
+    | Round_robin -> Logical_clock.rr_successor t.clocks ~turn:t.rr_turn
 
 let eligible_now t =
-  match t.holder with
-  | Some _ -> None
-  | None -> (
-      match t.ordering with
-      | Instruction_count -> Logical_clock.gmic t.clocks
-      | Round_robin -> rr_winner t)
+  let w = eligible_tid t in
+  if w < 0 then None else Some w
 
+(* Direct handoff: compute the unique eligible thread from the index and,
+   if it is waiting, wake exactly that thread.  One engine event per
+   token transfer — never a broadcast over the waiter set. *)
 let poke t =
-  match eligible_now t with
-  | Some tid when Hashtbl.mem t.waiters tid -> Sim.Engine.wakeup t.eng tid
-  | Some _ | None -> ()
+  let w = eligible_tid t in
+  if w >= 0 && Logical_clock.is_waiting t.clocks ~tid:w then begin
+    t.wakeups <- t.wakeups + 1;
+    Sim.Engine.wakeup t.eng w
+  end
 
 let wait t ~tid =
-  Hashtbl.replace t.waiters tid ();
-  let eligible () = t.holder = None && eligible_now t = Some tid in
-  while not (eligible ()) do
+  Logical_clock.set_waiting t.clocks ~tid true;
+  while not (t.holder_tid < 0 && eligible_tid t = tid) do
     Sim.Engine.block t.eng ~reason:"token"
   done;
-  Hashtbl.remove t.waiters tid;
-  t.holder <- Some tid;
+  Logical_clock.set_waiting t.clocks ~tid false;
+  t.holder_tid <- tid;
   t.acquisitions <- t.acquisitions + 1
 
 let release t ~tid =
-  if t.holder <> Some tid then
+  if t.holder_tid <> tid then
     invalid_arg (Printf.sprintf "Token.release: tid %d does not hold the token" tid);
-  t.holder <- None;
-  (match List.assoc_opt tid (Logical_clock.counts t.clocks) with
+  t.holder_tid <- -1;
+  (match Logical_clock.published_of t.clocks ~tid with
   | Some published -> t.last_release_published <- published
   | None -> ());
   (match t.ordering with

@@ -50,7 +50,10 @@ val waiting_count : t -> int
 
 val poke : t -> unit
 (** Re-evaluate eligibility and wake the winning waiter, if any.  Call
-    after clock publications, departures, arrivals and thread exits. *)
+    after clock publications, departures, arrivals and thread exits.
+    O(1) under instruction-count ordering: the winner is read off the
+    clock registry's incremental GMIC index, and exactly that thread is
+    woken (direct handoff — one engine event per token transfer). *)
 
 val last_release_published : t -> int
 (** Published clock of the most recent releaser — the fast-forward target
@@ -58,3 +61,8 @@ val last_release_published : t -> int
 
 val acquisitions : t -> int
 (** Total successful acquisitions (a determinism-independent load metric). *)
+
+val wakeups : t -> int
+(** Total wakeup events posted by {!poke}: with direct handoff this
+    counts exactly one per token transfer to a blocked waiter (plus any
+    eligibility changes that re-notify a not-yet-blocked winner). *)

@@ -28,24 +28,58 @@ let incr t ?(by = 1) name =
   | Some r -> r := !r + by
   | None -> Hashtbl.replace t.counters name (ref by)
 
-let observe t name v =
+let hist_of t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+      let h =
+        { counts = Array.make nbuckets 0; hcount = 0; hsum = 0; hmin = max_int; hmax = 0 }
+      in
+      Hashtbl.replace t.hists name h;
+      h
+
+let observe_state h name v =
   if v < 0 then invalid_arg (Printf.sprintf "Metrics.observe %s: negative value %d" name v);
-  let h =
-    match Hashtbl.find_opt t.hists name with
-    | Some h -> h
-    | None ->
-        let h =
-          { counts = Array.make nbuckets 0; hcount = 0; hsum = 0; hmin = max_int; hmax = 0 }
-        in
-        Hashtbl.replace t.hists name h;
-        h
-  in
   let b = bucket_of v in
   h.counts.(b) <- h.counts.(b) + 1;
   h.hcount <- h.hcount + 1;
   h.hsum <- h.hsum + v;
   if v < h.hmin then h.hmin <- v;
   if v > h.hmax then h.hmax <- v
+
+let observe t name v = observe_state (hist_of t name) name v
+
+(* Interned handles: one string-keyed lookup on first use, direct state
+   updates after.  Registration is lazy so a handle that is never
+   recorded to creates nothing — snapshots stay identical to the
+   string-keyed path. *)
+
+type counter = { ct : t; ckey : string; mutable cref : int ref option }
+type histogram = { htt : t; hkey : string; mutable hstate : hist_state option }
+
+let counter t name = { ct = t; ckey = name; cref = None }
+let histogram t name = { htt = t; hkey = name; hstate = None }
+
+let count c by =
+  match c.cref with
+  | Some r -> r := !r + by
+  | None -> (
+      match Hashtbl.find_opt c.ct.counters c.ckey with
+      | Some r ->
+          c.cref <- Some r;
+          r := !r + by
+      | None ->
+          let r = ref by in
+          c.cref <- Some r;
+          Hashtbl.replace c.ct.counters c.ckey r)
+
+let record h v =
+  match h.hstate with
+  | Some st -> observe_state st h.hkey v
+  | None ->
+      let st = hist_of h.htt h.hkey in
+      h.hstate <- Some st;
+      observe_state st h.hkey v
 
 type hist = {
   hname : string;

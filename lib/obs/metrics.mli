@@ -24,6 +24,26 @@ val observe : t -> string -> int -> unit
 (** Record a histogram observation; negative values raise
     [Invalid_argument]. *)
 
+(** {1 Interned handles}
+
+    A hot path that records to the same metric on every operation can
+    intern the name once and skip the string-keyed lookup thereafter.
+    Handles are lazy: nothing is registered until the first [count] /
+    [record], so snapshots are identical to the string-keyed path. *)
+
+type counter
+type histogram
+
+val counter : t -> string -> counter
+val histogram : t -> string -> histogram
+
+val count : counter -> int -> unit
+(** Bump the interned counter by the given amount. *)
+
+val record : histogram -> int -> unit
+(** Record an observation through an interned handle; negative values
+    raise [Invalid_argument]. *)
+
 (** {1 Snapshots} *)
 
 type hist = {

@@ -75,7 +75,16 @@ type t = {
   token : Tok.t;
   sync_trace : Sim.Trace.t;
   out_trace : Sim.Trace.t;
-  threads : (int, thread_state) Hashtbl.t;
+  (* Dense thread table: tids are handed out 0, 1, 2, ... so a flat array
+     indexed by tid replaces a hashtable; the accounting folds that run on
+     every commit (min_base, resident pages) touch [next_tid] slots
+     instead of walking hash buckets. *)
+  mutable threads : thread_state option array;
+  (* Small-id fast path for the mutex table: lock ids are caller-chosen,
+     so the dense front only covers 0..63 and anything else falls back to
+     the hashtable.  Every lock/unlock resolves its mutex record, so this
+     is on the per-operation path. *)
+  mutex_dense : mutex_rec option array;
   mutexes : (int, mutex_rec) Hashtbl.t;
   conds : (int, cond_rec) Hashtbl.t;
   barriers : (int, barrier_rec) Hashtbl.t;
@@ -103,13 +112,85 @@ type t = {
   observer : Rt_event.observer option;
   obs : Obs.Sink.t;
   metrics : Obs.Metrics.t;
+  (* Interned metric handles: the hot paths record through these instead
+     of string-keyed lookups (one hashtable probe per sync op adds up). *)
+  mh : metric_handles;
+}
+
+and metric_handles = {
+  mh_chunk_instr : Obs.Metrics.histogram;
+  mh_determ_wait_ns : Obs.Metrics.histogram;
+  mh_token_hold_ns : Obs.Metrics.histogram;
+  mh_commit_ns : Obs.Metrics.histogram;
+  mh_commit_pages : Obs.Metrics.histogram;
+  mh_update_ns : Obs.Metrics.histogram;
+  mh_lock_wait_ns : Obs.Metrics.histogram;
+  mh_barrier_wait_ns : Obs.Metrics.histogram;
+  mh_op_lock : Obs.Metrics.counter;
+  mh_op_unlock : Obs.Metrics.counter;
+  mh_op_commit : Obs.Metrics.counter;
+  mh_op_spawn : Obs.Metrics.counter;
+  mh_op_join : Obs.Metrics.counter;
+  mh_op_exit : Obs.Metrics.counter;
+  mh_op_cond_wait : Obs.Metrics.counter;
+  mh_op_barrier : Obs.Metrics.counter;
+  mh_op_atomic : Obs.Metrics.counter;
+  mh_op_signal : Obs.Metrics.counter;
+  mh_op_broadcast : Obs.Metrics.counter;
+  mh_op_forced_commit : Obs.Metrics.counter;
 }
 
 (* ------------------------------------------------------------------ *)
 (* Small helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let thread rt tid = Hashtbl.find rt.threads tid
+(* A tid can be allocated (next_tid bumped) slightly before its state is
+   installed by [add_thread] — accounting folds that run in that window
+   must see the slot as absent, so bound by the array too. *)
+let thread_opt rt tid =
+  if tid >= 0 && tid < rt.next_tid && tid < Array.length rt.threads then rt.threads.(tid)
+  else None
+
+let thread rt tid =
+  match thread_opt rt tid with
+  | Some th -> th
+  | None -> invalid_arg (Printf.sprintf "unknown thread %d" tid)
+
+let add_thread rt th =
+  let cap = Array.length rt.threads in
+  if th.tid >= cap then begin
+    let grown = Array.make (cap * 2) None in
+    Array.blit rt.threads 0 grown 0 cap;
+    rt.threads <- grown
+  end;
+  rt.threads.(th.tid) <- Some th
+
+(* Fold [f] over every live thread state; replaces Hashtbl.fold on the
+   accounting paths that run at each commit. *)
+let fold_threads rt f init =
+  let n = min rt.next_tid (Array.length rt.threads) in
+  let acc = ref init in
+  for tid = 0 to n - 1 do
+    match rt.threads.(tid) with Some th -> acc := f th !acc | None -> ()
+  done;
+  !acc
+
+(* Sync-op labels for small ids are interned: the common case allocates
+   neither the string_of_int nor the concatenation on every operation.
+   The strings are identical to the dynamic path, so trace hashes are
+   unchanged. *)
+let n_interned = 64
+let interned_lock = Array.init n_interned (fun i -> "lock:" ^ string_of_int i)
+let interned_unlock = Array.init n_interned (fun i -> "unlock:" ^ string_of_int i)
+let interned_tname = Array.init n_interned (fun i -> "t" ^ string_of_int i)
+
+let lock_label mid =
+  if mid >= 0 && mid < n_interned then interned_lock.(mid)
+  else "lock:" ^ string_of_int mid
+
+let unlock_label mid =
+  if mid >= 0 && mid < n_interned then interned_unlock.(mid)
+  else "unlock:" ^ string_of_int mid
 
 let charge rt th cat ns =
   if ns > 0 then begin
@@ -117,15 +198,12 @@ let charge rt th cat ns =
     Sim.Engine.advance rt.eng ns
   end
 
-(* Operation-family counter key for a sync label like "lock:3". *)
-let label_family label =
-  match String.index_opt label ':' with
-  | Some i -> String.sub label 0 i
-  | None -> label
-
-let record_sync rt th label =
+(* [op] is the operation-family counter for the label (op_lock for
+   "lock:3"), passed as an interned handle so the hot path neither scans
+   the label nor hashes a key string. *)
+let record_sync rt th ~op label =
   rt.sync_ops <- rt.sync_ops + 1;
-  Obs.Metrics.incr rt.metrics ("op:" ^ label_family label);
+  Obs.Metrics.count op 1;
   Sim.Trace.record rt.sync_trace ~time:(Sim.Engine.now rt.eng) ~tid:th.tid ~label
 
 (* Observability helpers.  These read the simulated clock but never
@@ -138,6 +216,10 @@ let span rt ~cat ~name ~tid ~t0 ?(args = []) () =
   if tracing rt then
     rt.obs.Obs.Sink.span
       { Obs.Span.name; cat; tid; t0; t1 = Sim.Engine.now rt.eng; args }
+
+(* Rt_event payloads allocate (records, label strings): construct them
+   only when somebody is listening.  Call sites guard with [emitting]. *)
+let emitting rt = rt.observer <> None || not (Obs.Sink.is_null rt.obs)
 
 let emit rt ev =
   (match rt.observer with Some f -> f ev | None -> ());
@@ -152,16 +234,25 @@ let emit rt ev =
       { Obs.Span.iname; icat = Obs.Span.Sync; itid; itime = Sim.Engine.now rt.eng }
   end
 
+let new_mutex_rec () =
+  { held_by = None; lock_waitq = Queue.create (); cs_ewma = 0.0; cs_enter_instr = 0 }
+
 let mutex_of rt id =
   let id = match rt.cfg.lock_granularity with Config.Single_global -> 0 | Config.Per_lock -> id in
-  match Hashtbl.find_opt rt.mutexes id with
-  | Some m -> m
-  | None ->
-      let m =
-        { held_by = None; lock_waitq = Queue.create (); cs_ewma = 0.0; cs_enter_instr = 0 }
-      in
-      Hashtbl.replace rt.mutexes id m;
-      m
+  if id >= 0 && id < Array.length rt.mutex_dense then
+    match Array.unsafe_get rt.mutex_dense id with
+    | Some m -> m
+    | None ->
+        let m = new_mutex_rec () in
+        Array.unsafe_set rt.mutex_dense id (Some m);
+        m
+  else
+    match Hashtbl.find_opt rt.mutexes id with
+    | Some m -> m
+    | None ->
+        let m = new_mutex_rec () in
+        Hashtbl.replace rt.mutexes id m;
+        m
 
 let cond_of rt id =
   match Hashtbl.find_opt rt.conds id with
@@ -201,10 +292,9 @@ let settle_post_unlock rt th =
    not pin history: every wake path performs a commit+update before user
    code touches memory again, so their stale bases are never read. *)
 let min_base rt =
-  Hashtbl.fold
-    (fun _ th acc ->
+  fold_threads rt
+    (fun th acc ->
       if th.exited || th.parked then acc else min acc (Vmem.Workspace.base th.ws))
-    rt.threads
     (Vmem.Segment.current_version rt.seg)
 
 let gc_and_sample rt =
@@ -221,11 +311,11 @@ let gc_and_sample rt =
    end
    else ignore (Vmem.Segment.gc rt.seg ~min_base:(min_base rt) ~budget:max_int));
   let resident =
-    Hashtbl.fold
-      (fun _ th acc ->
+    fold_threads rt
+      (fun th acc ->
         if th.exited then acc
         else acc + Vmem.Workspace.resident_pages th.ws + Vmem.Workspace.dirty_count th.ws)
-      rt.threads 0
+      0
   in
   (* Versioned-memory systems (Conversion) hold page snapshots until the
      GC catches up; an mprotect-based system (DThreads) holds only the
@@ -290,15 +380,16 @@ let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
       + (ci.pages_merged * c.Cost_model.page_merge_ns)
     in
     charge rt th Bd.Commit (int_of_float (float_of_int ns *. rt.cfg.commit_cost_mult));
-    Obs.Metrics.observe rt.metrics "commit_ns" (Sim.Engine.now rt.eng - t0);
-    Obs.Metrics.observe rt.metrics "commit_pages" ci.pages_committed;
-    span rt ~cat:Obs.Span.Commit
-      ~name:(Printf.sprintf "commit:v%d" ci.version)
-      ~tid:th.tid ~t0
-      ~args:[ ("pages", ci.pages_committed); ("merged", ci.pages_merged) ]
-      ();
-    record_sync rt th (Printf.sprintf "commit:%d" ci.version);
-    emit rt (Rt_event.Commit { tid = th.tid; version = ci.version; pages = ci.committed_pages })
+    Obs.Metrics.record rt.mh.mh_commit_ns (Sim.Engine.now rt.eng - t0);
+    Obs.Metrics.record rt.mh.mh_commit_pages ci.pages_committed;
+    if tracing rt then
+      span rt ~cat:Obs.Span.Commit
+        ~name:(Printf.sprintf "commit:v%d" ci.version)
+        ~tid:th.tid ~t0
+        ~args:[ ("pages", ci.pages_committed); ("merged", ci.pages_merged) ]
+        ();
+    record_sync rt th ~op:rt.mh.mh_op_commit ("commit:" ^ string_of_int ci.version);
+    if emitting rt then emit rt (Rt_event.Commit { tid = th.tid; version = ci.version; pages = ci.committed_pages })
   end
 
 let charge_update rt th (ui : Vmem.Workspace.update_info) =
@@ -311,12 +402,13 @@ let charge_update rt th (ui : Vmem.Workspace.update_info) =
       + (ui.pages_refreshed * c.Cost_model.page_refresh_ns)
     in
     charge rt th Bd.Update ns;
-    Obs.Metrics.observe rt.metrics "update_ns" (Sim.Engine.now rt.eng - t0);
-    span rt ~cat:Obs.Span.Update
-      ~name:(Printf.sprintf "update:v%d-v%d" ui.from_version ui.to_version)
-      ~tid:th.tid ~t0
-      ~args:[ ("pages", ui.pages_propagated); ("refreshed", ui.pages_refreshed) ]
-      ()
+    Obs.Metrics.record rt.mh.mh_update_ns (Sim.Engine.now rt.eng - t0);
+    if tracing rt then
+      span rt ~cat:Obs.Span.Update
+        ~name:(Printf.sprintf "update:v%d-v%d" ui.from_version ui.to_version)
+        ~tid:th.tid ~t0
+        ~args:[ ("pages", ui.pages_propagated); ("refreshed", ui.pages_refreshed) ]
+        ()
   end
 
 (* The paper's convCommitAndUpdateMem(). *)
@@ -335,9 +427,9 @@ let commit_and_update rt th =
 let fence_participant th = (not th.exited) && (not th.parked) && not th.coarsen_holding
 
 let fence_complete rt =
-  Hashtbl.fold
-    (fun tid th ok -> ok && ((not (fence_participant th)) || Hashtbl.mem rt.fence_arrived tid))
-    rt.threads true
+  fold_threads rt
+    (fun th ok -> ok && ((not (fence_participant th)) || Hashtbl.mem rt.fence_arrived th.tid))
+    true
 
 let fence_release rt =
   let arrived =
@@ -404,13 +496,13 @@ let acquire_global rt th =
   else Tok.wait rt.token ~tid:th.tid;
   let waited = Sim.Engine.now rt.eng - t0 in
   Bd.add th.bd Bd.Determ_wait waited;
-  Obs.Metrics.observe rt.metrics "determ_wait_ns" waited;
+  Obs.Metrics.record rt.mh.mh_determ_wait_ns waited;
   if waited > 0 then span rt ~cat:Obs.Span.Determ_wait ~name:"determ-wait" ~tid:th.tid ~t0 ();
   th.token_t0 <- Sim.Engine.now rt.eng
 
 let release_global rt th =
   if th.token_t0 >= 0 then begin
-    Obs.Metrics.observe rt.metrics "token_hold_ns" (Sim.Engine.now rt.eng - th.token_t0);
+    Obs.Metrics.record rt.mh.mh_token_hold_ns (Sim.Engine.now rt.eng - th.token_t0);
     span rt ~cat:Obs.Span.Token_hold ~name:"token" ~tid:th.tid ~t0:th.token_t0 ();
     th.token_t0 <- -1
   end;
@@ -432,8 +524,8 @@ let flush_sticky rt th =
 (* End-of-chunk bookkeeping common to every coordination entry. *)
 let observe_chunk rt th =
   let chunk_len = th.instr_retired - th.chunk_start_instr in
-  Obs.Metrics.observe rt.metrics "chunk_instr" chunk_len;
-  if chunk_len > 0 then
+  Obs.Metrics.record rt.mh.mh_chunk_instr chunk_len;
+  if chunk_len > 0 && tracing rt then
     span rt ~cat:Obs.Span.Chunk ~name:"chunk" ~tid:th.tid ~t0:th.chunk_open_ns
       ~args:[ ("instr", chunk_len) ]
       ()
@@ -547,11 +639,12 @@ let rec consume rt th n =
     if th.coarsen_holding && th.instr_retired - th.coarsen_start_instr > th.coarsen_max then
       end_coarsen rt th;
     (if th.next_overflow_in <= 0 then
+       (* Both queries are O(1) reads of the incremental clock indexes:
+          no fold, no closure, no list. *)
        let gap =
          if Lc.is_gmic rt.clocks ~tid:th.tid && Tok.waiting_count rt.token > 0 then
-           Lc.next_waiting_gap rt.clocks ~tid:th.tid ~waiting:(fun tid ->
-               Tok.is_waiting rt.token ~tid)
-         else None
+           Lc.next_waiting_gap rt.clocks ~tid:th.tid
+         else 0
        in
        th.next_overflow_in <- Ofp.next_interval th.ofp ~waiter_gap:gap);
     let step = min n th.next_overflow_in in
@@ -574,7 +667,7 @@ let rec consume rt th n =
     | Some limit when th.since_commit >= limit && not th.coarsen_holding ->
         enter_coordination rt th;
         commit_and_update rt th;
-        record_sync rt th "forced-commit";
+        record_sync rt th ~op:rt.mh.mh_op_forced_commit "forced-commit";
         leave_coordination rt th
     | Some _ | None -> ());
     consume rt th (n - step)
@@ -617,12 +710,12 @@ let park rt th ~category ~reason ~ready =
   done;
   let waited = Sim.Engine.now rt.eng - t0 in
   Bd.add th.bd category waited;
-  (let scat, key =
+  (let scat, hist =
      match category with
-     | Bd.Barrier_wait -> (Obs.Span.Barrier_wait, "barrier_wait_ns")
-     | _ -> (Obs.Span.Lock_wait, "lock_wait_ns")
+     | Bd.Barrier_wait -> (Obs.Span.Barrier_wait, rt.mh.mh_barrier_wait_ns)
+     | _ -> (Obs.Span.Lock_wait, rt.mh.mh_lock_wait_ns)
    in
-   Obs.Metrics.observe rt.metrics key waited;
+   Obs.Metrics.record hist waited;
    if waited > 0 then span rt ~cat:scat ~name:reason ~tid:th.tid ~t0 ());
   (* Normally the granter already cleared these (and fast-forwarded our
      clock); when the grant landed before we even blocked — ready() was
@@ -661,8 +754,8 @@ let rec mutex_lock rt th mid =
       m.held_by <- Some th.tid;
       measure_cs_enter th m;
       th.coarsen_ops <- th.coarsen_ops + 1;
-      record_sync rt th (Printf.sprintf "lock:%d" mid);
-      emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_mutex mid });
+      record_sync rt th ~op:rt.mh.mh_op_lock (lock_label mid);
+      if emitting rt then emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_mutex mid });
       counter_read rt th
     end
     else
@@ -681,8 +774,8 @@ and mutex_lock_slow rt th mid =
     if m.held_by = None then begin
       m.held_by <- Some th.tid;
       commit_and_update rt th;
-      record_sync rt th (Printf.sprintf "lock:%d" mid);
-      emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_mutex mid });
+      record_sync rt th ~op:rt.mh.mh_op_lock (lock_label mid);
+      if emitting rt then emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_mutex mid });
       measure_cs_enter th m;
       acquired := true;
       (* Coarsen across the critical section if its estimated length fits
@@ -752,8 +845,8 @@ let mutex_unlock rt th mid =
   if th.coarsen_holding then begin
     settle_post_unlock rt th;
     release_mutex rt ~waker:th m;
-    record_sync rt th (Printf.sprintf "unlock:%d" mid);
-    emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
+    record_sync rt th ~op:rt.mh.mh_op_unlock (unlock_label mid);
+    if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
     th.coarsen_ops <- th.coarsen_ops + 1;
     charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns;
     (* Continue coarsening over the upcoming chunk if it is expected to
@@ -765,8 +858,8 @@ let mutex_unlock rt th mid =
     enter_coordination rt th;
     release_mutex rt ~waker:th m;
     commit_and_update rt th;
-    record_sync rt th (Printf.sprintf "unlock:%d" mid);
-    emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
+    record_sync rt th ~op:rt.mh.mh_op_unlock (unlock_label mid);
+    if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
     if coarsen_decision rt th ~estimate:post_estimate then begin_coarsen rt th
     else leave_coordination rt th;
     note_post ()
@@ -781,8 +874,8 @@ let cond_wait rt th cid mid =
   update_cs_ewma rt th m;
   release_mutex rt ~waker:th m;
   commit_and_update rt th;
-  record_sync rt th (Printf.sprintf "cond_wait:%d" cid);
-  emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
+  record_sync rt th ~op:rt.mh.mh_op_cond_wait ("cond_wait:" ^ string_of_int cid);
+  if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
   th.cond_grant <- false;
   Queue.push th.tid c.cond_waitq;
   release_global rt th;
@@ -790,7 +883,7 @@ let cond_wait rt th cid mid =
   park rt th ~category:Bd.Lock_wait
     ~reason:(Printf.sprintf "cond:%d" cid)
     ~ready:(fun () -> th.cond_grant);
-  emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_cond cid });
+  if emitting rt then emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_cond cid });
   open_chunk rt th;
   (* Re-acquire the mutex, competing deterministically with other lockers. *)
   mutex_lock rt th mid
@@ -802,7 +895,9 @@ let rec cond_signal rt th cid ~broadcast =
     (* Signalling with no waiter is purely local: nothing to wake, and the
        accompanying commit may be coalesced like any other under TSO, so
        the op need not end the coarsened chunk. *)
-    record_sync rt th (Printf.sprintf "%s:%d" (if broadcast then "broadcast" else "signal") cid);
+    record_sync rt th
+    ~op:(if broadcast then rt.mh.mh_op_broadcast else rt.mh.mh_op_signal)
+    ((if broadcast then "broadcast:" else "signal:") ^ string_of_int cid);
     th.coarsen_ops <- th.coarsen_ops + 1;
     charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns
   end
@@ -822,8 +917,10 @@ and cond_signal_slow rt th cid ~broadcast =
   in
   grant_one ();
   commit_and_update rt th;
-  record_sync rt th (Printf.sprintf "%s:%d" (if broadcast then "broadcast" else "signal") cid);
-  emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_cond cid });
+  record_sync rt th
+    ~op:(if broadcast then rt.mh.mh_op_broadcast else rt.mh.mh_op_signal)
+    ((if broadcast then "broadcast:" else "signal:") ^ string_of_int cid);
+  if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_cond cid });
   leave_coordination rt th
 
 let barrier_init rt th bid parties =
@@ -851,21 +948,23 @@ let barrier_wait rt th bid =
        charge rt th Bd.Commit
          (c.Cost_model.commit_base_ns
          + (ci.Vmem.Workspace.pages_committed * c.Cost_model.barrier_phase1_page_ns));
-       Obs.Metrics.observe rt.metrics "commit_ns" (Sim.Engine.now rt.eng - t0);
-       Obs.Metrics.observe rt.metrics "commit_pages" ci.Vmem.Workspace.pages_committed;
-       span rt ~cat:Obs.Span.Commit
-         ~name:(Printf.sprintf "commit-phase1:v%d" ci.Vmem.Workspace.version)
-         ~tid:th.tid ~t0
-         ~args:[ ("pages", ci.Vmem.Workspace.pages_committed) ]
-         ();
-       record_sync rt th (Printf.sprintf "commit:%d" ci.Vmem.Workspace.version);
-       emit rt
-         (Rt_event.Commit
-            {
-              tid = th.tid;
-              version = ci.Vmem.Workspace.version;
-              pages = ci.Vmem.Workspace.committed_pages;
-            })
+       Obs.Metrics.record rt.mh.mh_commit_ns (Sim.Engine.now rt.eng - t0);
+       Obs.Metrics.record rt.mh.mh_commit_pages ci.Vmem.Workspace.pages_committed;
+       if tracing rt then
+         span rt ~cat:Obs.Span.Commit
+           ~name:(Printf.sprintf "commit-phase1:v%d" ci.Vmem.Workspace.version)
+           ~tid:th.tid ~t0
+           ~args:[ ("pages", ci.Vmem.Workspace.pages_committed) ]
+           ();
+       record_sync rt th ~op:rt.mh.mh_op_commit ("commit:" ^ string_of_int ci.Vmem.Workspace.version);
+       if emitting rt then
+         emit rt
+           (Rt_event.Commit
+              {
+                tid = th.tid;
+                version = ci.Vmem.Workspace.version;
+                pages = ci.Vmem.Workspace.committed_pages;
+              })
      end;
      phase2_pages :=
        (ci.Vmem.Workspace.pages_committed * c.Cost_model.page_commit_ns)
@@ -877,8 +976,8 @@ let barrier_wait rt th bid =
         barrier committers serialize. *)
      charge_commit rt th (Vmem.Workspace.commit th.ws));
   th.since_commit <- 0;
-  record_sync rt th (Printf.sprintf "barrier:%d" bid);
-  emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_barrier bid });
+  record_sync rt th ~op:rt.mh.mh_op_barrier ("barrier:" ^ string_of_int bid);
+  if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_barrier bid });
   b.arrived_tids <- th.tid :: b.arrived_tids;
   let last = List.length b.arrived_tids = b.parties in
   th.barrier_grant <- false;
@@ -898,7 +997,7 @@ let barrier_wait rt th bid =
   (let p2_t0 = Sim.Engine.now rt.eng in
    charge rt th Bd.Commit (int_of_float (float_of_int !phase2_pages *. rt.cfg.commit_cost_mult));
    if !phase2_pages > 0 then begin
-     Obs.Metrics.observe rt.metrics "commit_ns" (Sim.Engine.now rt.eng - p2_t0);
+     Obs.Metrics.record rt.mh.mh_commit_ns (Sim.Engine.now rt.eng - p2_t0);
      span rt ~cat:Obs.Span.Commit ~name:"commit-phase2" ~tid:th.tid ~t0:p2_t0 ()
    end);
   if last then begin
@@ -919,7 +1018,7 @@ let barrier_wait rt th bid =
     park rt th ~category:Bd.Barrier_wait
       ~reason:(Printf.sprintf "barrier:%d" bid)
       ~ready:(fun () -> th.barrier_grant);
-  emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_barrier bid });
+  if emitting rt then emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_barrier bid });
   (* Everyone updates to the latest version after the internal barrier;
      these updates run concurrently. *)
   let ui = Vmem.Workspace.update th.ws in
@@ -954,7 +1053,7 @@ let atomic_fetch_add rt th ~addr delta =
   charge_commit rt th ci;
   let ui = Vmem.Workspace.update th.ws in
   charge_update rt th ui;
-  record_sync rt th (Printf.sprintf "atomic:%d" addr);
+  record_sync rt th ~op:rt.mh.mh_op_atomic ("atomic:" ^ string_of_int addr);
   leave_coordination rt th;
   v
 
@@ -1047,8 +1146,8 @@ and new_thread_state rt ~tid ~name ~inherit_count =
 and thread_exit rt th =
   enter_coordination rt th;
   commit_and_update rt th;
-  record_sync rt th "exit";
-  emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_thread th.tid ^ ":exit" });
+  record_sync rt th ~op:rt.mh.mh_op_exit "exit";
+  if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_thread th.tid ^ ":exit" });
   th.exited <- true;
   if rt.cfg.thread_pool then rt.pool_size <- rt.pool_size + 1;
   release_global rt th;
@@ -1066,7 +1165,13 @@ and spawn_thread rt th ?name body =
   commit_and_update rt th;
   let child_tid = rt.next_tid in
   rt.next_tid <- child_tid + 1;
-  let name = match name with Some n -> n | None -> Printf.sprintf "t%d" child_tid in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        if child_tid < n_interned then interned_tname.(child_tid)
+        else "t" ^ string_of_int child_tid
+  in
   (* Thread-pool reuse (section 3.3) versus a full fork that copies every
      populated page-table entry of the Conversion segment. *)
   (if rt.cfg.thread_pool && rt.pool_size > 0 then begin
@@ -1079,24 +1184,25 @@ and spawn_thread rt th ?name body =
        (rt.costs.Cost_model.fork_base_ns + (populated * rt.costs.Cost_model.fork_page_ns))
    end);
   let child = new_thread_state rt ~tid:child_tid ~name ~inherit_count:(Lc.published th.clock) in
-  Hashtbl.replace rt.threads child_tid child;
-  emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_thread child_tid });
+  add_thread rt child;
+  if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_thread child_tid });
   let fiber_id =
     Sim.Engine.spawn rt.eng ~name (fun () ->
         (* A recycled thread must refresh its view of memory. *)
-        emit rt (Rt_event.Acquire { tid = child_tid; obj = Rt_event.obj_thread child_tid });
+        if emitting rt then emit rt (Rt_event.Acquire { tid = child_tid; obj = Rt_event.obj_thread child_tid });
         let ui = Vmem.Workspace.update child.ws in
         charge_update rt child ui;
         body (make_ops rt child);
         thread_exit rt child)
   in
   assert (fiber_id = child_tid);
-  record_sync rt th (Printf.sprintf "spawn:%d" child_tid);
-  span rt ~cat:Obs.Span.Fork
-    ~name:(Printf.sprintf "spawn:%d" child_tid)
-    ~tid:th.tid ~t0:fork_t0
-    ~args:[ ("child", child_tid) ]
-    ();
+  record_sync rt th ~op:rt.mh.mh_op_spawn ("spawn:" ^ string_of_int child_tid);
+  if tracing rt then
+    span rt ~cat:Obs.Span.Fork
+      ~name:(Printf.sprintf "spawn:%d" child_tid)
+      ~tid:th.tid ~t0:fork_t0
+      ~args:[ ("child", child_tid) ]
+      ();
   Tok.poke rt.token;
   leave_coordination rt th;
   child_tid
@@ -1107,7 +1213,7 @@ and join_thread rt th target_tid =
      end the hold before waiting for the child. *)
   if th.coarsen_holding then end_coarsen rt th;
   let target =
-    match Hashtbl.find_opt rt.threads target_tid with
+    match thread_opt rt target_tid with
     | Some target -> target
     | None -> invalid_arg (Printf.sprintf "join: unknown thread %d" target_tid)
   in
@@ -1126,11 +1232,12 @@ and join_thread rt th target_tid =
      child's final commits. *)
   enter_coordination rt th;
   commit_and_update rt th;
-  record_sync rt th (Printf.sprintf "join:%d" target_tid);
-  emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_thread target_tid ^ ":exit" });
-  span rt ~cat:Obs.Span.Join
-    ~name:(Printf.sprintf "join:%d" target_tid)
-    ~tid:th.tid ~t0:join_t0 ();
+  record_sync rt th ~op:rt.mh.mh_op_join ("join:" ^ string_of_int target_tid);
+  if emitting rt then emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_thread target_tid ^ ":exit" });
+  if tracing rt then
+    span rt ~cat:Obs.Span.Join
+      ~name:(Printf.sprintf "join:%d" target_tid)
+      ~tid:th.tid ~t0:join_t0 ();
   leave_coordination rt th
 
 (* ------------------------------------------------------------------ *)
@@ -1152,6 +1259,7 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
     | Config.Instruction_count -> Tok.Instruction_count
   in
   let token = Tok.create eng clocks ordering in
+  let metrics = Obs.Metrics.create () in
   let rt =
     {
       cfg;
@@ -1162,7 +1270,8 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
       token;
       sync_trace = Sim.Trace.create ~capture:true ();
       out_trace = Sim.Trace.create ~capture:true ();
-      threads = Hashtbl.create 64;
+      threads = Array.make 8 None;
+      mutex_dense = Array.make 64 None;
       mutexes = Hashtbl.create 16;
       conds = Hashtbl.create 16;
       barriers = Hashtbl.create 16;
@@ -1180,11 +1289,34 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
       serial_acquisitions = 0;
       observer;
       obs;
-      metrics = Obs.Metrics.create ();
+      metrics;
+      mh =
+        {
+          mh_chunk_instr = Obs.Metrics.histogram metrics "chunk_instr";
+          mh_determ_wait_ns = Obs.Metrics.histogram metrics "determ_wait_ns";
+          mh_token_hold_ns = Obs.Metrics.histogram metrics "token_hold_ns";
+          mh_commit_ns = Obs.Metrics.histogram metrics "commit_ns";
+          mh_commit_pages = Obs.Metrics.histogram metrics "commit_pages";
+          mh_update_ns = Obs.Metrics.histogram metrics "update_ns";
+          mh_lock_wait_ns = Obs.Metrics.histogram metrics "lock_wait_ns";
+          mh_barrier_wait_ns = Obs.Metrics.histogram metrics "barrier_wait_ns";
+          mh_op_lock = Obs.Metrics.counter metrics "op:lock";
+          mh_op_unlock = Obs.Metrics.counter metrics "op:unlock";
+          mh_op_commit = Obs.Metrics.counter metrics "op:commit";
+          mh_op_spawn = Obs.Metrics.counter metrics "op:spawn";
+          mh_op_join = Obs.Metrics.counter metrics "op:join";
+          mh_op_exit = Obs.Metrics.counter metrics "op:exit";
+          mh_op_cond_wait = Obs.Metrics.counter metrics "op:cond_wait";
+          mh_op_barrier = Obs.Metrics.counter metrics "op:barrier";
+          mh_op_atomic = Obs.Metrics.counter metrics "op:atomic";
+          mh_op_signal = Obs.Metrics.counter metrics "op:signal";
+          mh_op_broadcast = Obs.Metrics.counter metrics "op:broadcast";
+          mh_op_forced_commit = Obs.Metrics.counter metrics "op:forced-commit";
+        };
     }
   in
   let main_state = new_thread_state rt ~tid:0 ~name:"main" ~inherit_count:0 in
-  Hashtbl.replace rt.threads 0 main_state;
+  add_thread rt main_state;
   let fiber_id =
     Sim.Engine.spawn eng ~name:"main" (fun () ->
         program.Api.main ~nthreads (make_ops rt main_state);
@@ -1193,8 +1325,8 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
   assert (fiber_id = 0);
   Sim.Engine.run eng;
   let per_thread =
-    Hashtbl.fold
-      (fun _ th acc ->
+    fold_threads rt
+      (fun th acc ->
         {
           Stats.Run_result.tid = th.tid;
           thread_name = th.name;
@@ -1202,10 +1334,10 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
           instructions = th.instr_retired;
         }
         :: acc)
-      rt.threads []
-    |> List.sort (fun a b -> compare a.Stats.Run_result.tid b.Stats.Run_result.tid)
+      []
+    |> List.rev
   in
-  let sum f = Hashtbl.fold (fun _ th acc -> acc + f th) rt.threads 0 in
+  let sum f = fold_threads rt (fun th acc -> acc + f th) 0 in
   let ws_stat f = sum (fun th -> f (Vmem.Workspace.stats th.ws)) in
   {
     Stats.Run_result.program = program.Api.name;

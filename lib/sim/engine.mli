@@ -49,6 +49,14 @@ val run : t -> unit
 val fiber_count : t -> int
 (** Number of fibers ever spawned. *)
 
+val events : t -> int
+(** Scheduler events processed so far (dispatches plus fast-path
+    advances); a load metric for the engine itself. *)
+
+val dispatches : t -> int
+(** Events that went through the queues and an effect round-trip, i.e.
+    [events] minus the advances the fast path absorbed. *)
+
 val name_of : t -> tid -> string
 
 (** {1 Operations available inside fibers}
@@ -73,7 +81,9 @@ val block : t -> reason:string -> unit
 
 val wakeup : t -> tid -> unit
 (** Make [tid] runnable at the current simulated time (or post a pending
-    permit if it is not blocked).  Waking a finished fiber is a no-op. *)
+    permit if it is not blocked).  Waking a finished fiber is a no-op.
+    Same-instant wakeups take an O(1) fast path: the resume event goes to
+    a due-now ring instead of the timed heap, skipping the sift. *)
 
 val blocked_reason : t -> tid -> string option
 (** [Some reason] if the fiber is currently blocked, [None] otherwise. *)

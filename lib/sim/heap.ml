@@ -1,76 +1,140 @@
-type 'a entry = { key : int; seq : int; value : 'a }
+(* Min-heap over (key, seq) pairs stored as parallel arrays: no per-entry
+   record is allocated, so a push/pop cycle is allocation-free once the
+   backing arrays have grown to capacity.  The tree is 4-ary: one level
+   shallower than a binary heap for typical queue sizes, and the four
+   children of a node share two cache lines of the key array. *)
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create () = { keys = [||]; seqs = [||]; vals = [||]; size = 0; next_seq = 0 }
 
 let length t = t.size
 let is_empty t = t.size = 0
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
-
-(* Grow the backing array, using [fill] as the dummy for unused slots. *)
+(* Grow the backing arrays, using [fill] as the dummy for unused value
+   slots.  The first growth jumps straight to 64 slots: repeated
+   doubling from a cold heap re-copies the arrays four times before
+   reaching a typical working size. *)
 let grow t fill =
-  let cap = Array.length t.data in
-  let new_cap = if cap = 0 then 16 else cap * 2 in
-  let fresh = Array.make new_cap fill in
-  Array.blit t.data 0 fresh 0 t.size;
-  t.data <- fresh
+  let cap = Array.length t.keys in
+  let new_cap = if cap = 0 then 64 else cap * 2 in
+  let keys = Array.make new_cap 0 and seqs = Array.make new_cap 0 in
+  let vals = Array.make new_cap fill in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.vals 0 vals 0 t.size;
+  t.keys <- keys;
+  t.seqs <- seqs;
+  t.vals <- vals
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if less t.data.(i) t.data.(parent) then begin
-      let tmp = t.data.(i) in
-      t.data.(i) <- t.data.(parent);
-      t.data.(parent) <- tmp;
-      sift_up t parent
+(* Hole-based sifts: the displaced entry is held in registers and written
+   exactly once, instead of swapping at every level. *)
+
+let sift_up t i0 =
+  let k = t.keys.(i0) and s = t.seqs.(i0) and v = t.vals.(i0) in
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let p = (!i - 1) / 4 in
+    if k < t.keys.(p) || (k = t.keys.(p) && s < t.seqs.(p)) then begin
+      t.keys.(!i) <- t.keys.(p);
+      t.seqs.(!i) <- t.seqs.(p);
+      t.vals.(!i) <- t.vals.(p);
+      i := p
     end
-  end
+    else moving := false
+  done;
+  t.keys.(!i) <- k;
+  t.seqs.(!i) <- s;
+  t.vals.(!i) <- v
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+let sift_down t i0 =
+  let k = t.keys.(i0) and s = t.seqs.(i0) and v = t.vals.(i0) in
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving do
+    let first = (4 * !i) + 1 in
+    if first >= t.size then moving := false
+    else begin
+      (* Smallest of the up-to-four children. *)
+      let last = min (first + 3) (t.size - 1) in
+      let m = ref first in
+      for c = first + 1 to last do
+        if
+          t.keys.(c) < t.keys.(!m)
+          || (t.keys.(c) = t.keys.(!m) && t.seqs.(c) < t.seqs.(!m))
+        then m := c
+      done;
+      let m = !m in
+      if t.keys.(m) < k || (t.keys.(m) = k && t.seqs.(m) < s) then begin
+        t.keys.(!i) <- t.keys.(m);
+        t.seqs.(!i) <- t.seqs.(m);
+        t.vals.(!i) <- t.vals.(m);
+        i := m
+      end
+      else moving := false
+    end
+  done;
+  t.keys.(!i) <- k;
+  t.seqs.(!i) <- s;
+  t.vals.(!i) <- v
+
+let push_seq t ~key ~seq value =
+  if t.size = Array.length t.keys then grow t value;
+  if seq >= t.next_seq then t.next_seq <- seq + 1;
+  let i = t.size in
+  t.keys.(i) <- key;
+  t.seqs.(i) <- seq;
+  t.vals.(i) <- value;
+  t.size <- i + 1;
+  sift_up t i
 
 let push t ~key value =
-  let entry = { key; seq = t.next_seq; value } in
-  if t.size = Array.length t.data then grow t entry;
-  t.next_seq <- t.next_seq + 1;
-  t.data.(t.size) <- entry;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let seq = t.next_seq in
+  push_seq t ~key ~seq value
+
+let top_key_exn t =
+  if t.size = 0 then invalid_arg "Heap.top_key_exn: empty heap";
+  t.keys.(0)
+
+let top_seq_exn t =
+  if t.size = 0 then invalid_arg "Heap.top_seq_exn: empty heap";
+  t.seqs.(0)
+
+let pop_min_exn t =
+  if t.size = 0 then invalid_arg "Heap.pop_min_exn: empty heap";
+  let v = t.vals.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.keys.(0) <- t.keys.(t.size);
+    t.seqs.(0) <- t.seqs.(t.size);
+    t.vals.(0) <- t.vals.(t.size);
+    sift_down t 0
+  end;
+  v
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.data.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
-    Some (top.key, top.value)
+    let key = t.keys.(0) in
+    Some (key, pop_min_exn t)
   end
 
-let peek_key t = if t.size = 0 then None else Some t.data.(0).key
+let peek_key t = if t.size = 0 then None else Some t.keys.(0)
 
 let clear t =
   t.size <- 0;
   t.next_seq <- 0
 
 let to_list t =
-  let entries = Array.sub t.data 0 t.size in
-  Array.sort (fun a b -> if less a b then -1 else if less b a then 1 else 0) entries;
-  Array.to_list (Array.map (fun e -> (e.key, e.value)) entries)
+  let entries = Array.init t.size (fun i -> (t.keys.(i), t.seqs.(i), t.vals.(i))) in
+  Array.sort
+    (fun (k1, s1, _) (k2, s2, _) -> if k1 <> k2 then compare k1 k2 else compare s1 s2)
+    entries;
+  Array.to_list (Array.map (fun (k, _, v) -> (k, v)) entries)

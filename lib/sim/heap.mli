@@ -1,9 +1,14 @@
-(** Binary min-heap used as the simulator's event queue.
+(** 4-ary min-heap used as the simulator's event queue.
 
     Entries are ordered by a primary integer key (simulated time) with a
     strictly increasing sequence number as tie-breaker, so two events
     scheduled for the same instant pop in insertion order.  This total
-    order is what makes the simulator deterministic. *)
+    order is what makes the simulator deterministic.
+
+    The heap is stored as parallel key/seq/value arrays: pushing
+    allocates nothing once the backing arrays have reached capacity, and
+    the [_exn] accessors below let a drain loop run allocation-free
+    (no option or tuple boxing). *)
 
 type 'a t
 
@@ -17,14 +22,33 @@ val push : 'a t -> key:int -> 'a -> unit
 (** [push t ~key v] inserts [v] with priority [key].  Insertion order among
     equal keys is preserved on [pop]. *)
 
+val push_seq : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [push_seq t ~key ~seq v] inserts with an explicitly chosen tie-break
+    sequence number, for callers that interleave the heap with a second
+    queue sharing one global sequence counter (the engine's due-now
+    FIFO).  [seq] values must be distinct; the internal counter used by
+    {!push} is bumped past [seq]. *)
+
 val pop : 'a t -> (int * 'a) option
 (** Remove and return the minimum entry as [(key, value)], or [None] when
+    empty. *)
+
+val pop_min_exn : 'a t -> 'a
+(** Remove the minimum entry and return its value only — no tuple or
+    option allocation.  Raises [Invalid_argument] when empty. *)
+
+val top_key_exn : 'a t -> int
+(** Key of the minimum entry.  Raises [Invalid_argument] when empty. *)
+
+val top_seq_exn : 'a t -> int
+(** Sequence number of the minimum entry.  Raises [Invalid_argument] when
     empty. *)
 
 val peek_key : 'a t -> int option
 (** Key of the minimum entry without removing it. *)
 
 val clear : 'a t -> unit
+(** Empty the heap (capacity, and any values it holds, are retained). *)
 
 val to_list : 'a t -> (int * 'a) list
 (** Snapshot of current contents in pop order; O(n log n), for tests and

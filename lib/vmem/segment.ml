@@ -207,6 +207,11 @@ let gc_page t ~min_base i =
   end
 
 let gc t ~min_base ~budget =
+  (* With no live snapshots a full sweep would scan every page and drop
+     nothing; skip it.  Commit-heavy workloads hit this constantly when
+     the collector keeps up. *)
+  if t.live = 0 then 0
+  else begin
   let reclaimed = ref 0 in
   let scanned = ref 0 in
   while !reclaimed < budget && !scanned < t.npages do
@@ -216,6 +221,7 @@ let gc t ~min_base ~budget =
     incr scanned
   done;
   !reclaimed
+  end
 
 let hash t =
   let h = ref Sim.Fnv.init in

@@ -109,13 +109,81 @@ let test_lc_next_waiting_gap () =
   Lc.tick c1 140;
   Lc.tick c2 160;
   (* Thread 0 (GMIC) asks: who waits on me?  Only tid 2 is waiting. *)
-  let gap = Lc.next_waiting_gap t ~tid:0 ~waiting:(fun tid -> tid = 2) in
-  check_opt_int "gap to tid 2" (Some 61) gap;
+  Lc.set_waiting t ~tid:2 true;
+  check_int "gap to tid 2" 61 (Lc.next_waiting_gap t ~tid:0);
   (* Both waiting: the lower-clock waiter (tid 1) is next. *)
-  let gap = Lc.next_waiting_gap t ~tid:0 ~waiting:(fun tid -> tid = 1 || tid = 2) in
-  check_opt_int "gap to tid 1" (Some 41) gap;
+  Lc.set_waiting t ~tid:1 true;
+  check_int "gap to tid 1" 41 (Lc.next_waiting_gap t ~tid:0);
+  check_int "waiting count" 2 (Lc.waiting_count t);
   (* Nobody waiting. *)
-  check_opt_int "no waiter" None (Lc.next_waiting_gap t ~tid:0 ~waiting:(fun _ -> false))
+  Lc.set_waiting t ~tid:1 false;
+  Lc.set_waiting t ~tid:2 false;
+  check_int "no waiter" 0 (Lc.next_waiting_gap t ~tid:0)
+
+(* The incremental (published, tid) index must agree with a fold-based
+   oracle over the same clock states, under arbitrary guarded sequences
+   of tick / pause / resume / depart / arrive / finish / set_waiting /
+   fast_forward. *)
+let prop_lc_index_matches_oracle =
+  let n_tids = 6 in
+  QCheck.Test.make ~name:"clock index agrees with fold oracle" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 120) (int_range 0 1_000_000))
+    (fun ops ->
+      let t = Lc.create () in
+      let clocks = Array.init n_tids (fun tid -> Lc.register t ~tid) in
+      let waiting = Array.make n_tids false in
+      let apply v =
+        let tid = v mod n_tids in
+        let c = clocks.(tid) in
+        let amount = 1 + (v / 48 mod 997) in
+        match v / 6 mod 8 with
+        | 0 -> if not (Lc.is_paused c || Lc.is_finished c) then Lc.tick c amount
+        | 1 -> Lc.pause c
+        | 2 -> Lc.resume c
+        | 3 -> Lc.depart c
+        | 4 -> Lc.arrive c
+        | 5 ->
+            Lc.finish c;
+            waiting.(tid) <- false
+        | 6 ->
+            Lc.set_waiting t ~tid true;
+            if not (Lc.is_finished c) then waiting.(tid) <- true
+        | _ ->
+            Lc.set_waiting t ~tid false;
+            waiting.(tid) <- false
+      in
+      List.iter apply ops;
+      let key c = (Lc.published c, Lc.tid c) in
+      let act c = (not (Lc.is_finished c)) && not (Lc.is_departed c) in
+      let visible_waiter c = act c && waiting.(Lc.tid c) in
+      let best p =
+        Array.fold_left
+          (fun acc c ->
+            if p c && (acc = None || key c < Option.get acc) then Some (key c) else acc)
+          None clocks
+      in
+      let count p = Array.fold_left (fun n c -> if p c then n + 1 else n) 0 clocks in
+      let oracle_gmic = Option.map snd (best act) in
+      let ok =
+        ref
+          (Lc.gmic t = oracle_gmic
+          && Lc.active_count t = count act
+          && Lc.waiting_count t = count visible_waiter)
+      in
+      for tid = 0 to n_tids - 1 do
+        let c = clocks.(tid) in
+        let oracle_gap =
+          match best (fun c' -> visible_waiter c' && Lc.tid c' <> tid) with
+          | None -> 0
+          | Some (pub, _) -> pub - Lc.published c + 1
+        in
+        ok :=
+          !ok
+          && Lc.is_gmic t ~tid = (oracle_gmic = Some tid)
+          && Lc.is_waiting t ~tid = visible_waiter c
+          && Lc.next_waiting_gap t ~tid = oracle_gap
+      done;
+      !ok)
 
 let test_lc_counts_sorted () =
   let t = Lc.create () in
@@ -313,6 +381,34 @@ let test_token_holder_and_waiting_introspection () =
   check_opt_int "held by 0" (Some 0) !observed_holder;
   check_bool "1 was waiting" true !observed_waiting
 
+let test_token_handoff_single_wakeup () =
+  (* Direct handoff: every token transfer to a blocked waiter posts
+     exactly one engine wakeup — never a broadcast over the waiter set. *)
+  let eng = Sim.Engine.create ~seed:1 () in
+  let clocks = Lc.create () in
+  let token = Tok.create eng clocks Tok.Instruction_count in
+  let spawn tid ticks =
+    ignore
+      (Sim.Engine.spawn eng ~name:(Printf.sprintf "t%d" tid) (fun () ->
+           let c = Lc.register clocks ~tid in
+           Lc.tick c ticks;
+           Tok.poke token;
+           Sim.Engine.advance eng 10;
+           Tok.wait token ~tid;
+           Sim.Engine.advance eng 10;
+           (* Push well past everyone so the next-lowest waiter becomes
+              GMIC on release. *)
+           Lc.tick c 10_000;
+           Tok.release token ~tid))
+  in
+  spawn 0 0;
+  spawn 1 100;
+  spawn 2 200;
+  spawn 3 300;
+  Sim.Engine.run eng;
+  check_int "four acquisitions" 4 (Tok.acquisitions token);
+  check_int "one wakeup per handoff" 3 (Tok.wakeups token)
+
 let test_token_eligible_now () =
   let clocks = Lc.create () in
   let eng = Sim.Engine.create ~seed:1 () in
@@ -329,40 +425,40 @@ let test_token_eligible_now () =
 let test_ofp_base_and_doubling () =
   let p = Ofp.create (Ofp.Adaptive { base = 5_000; cap = 40_000 }) in
   Ofp.begin_chunk p;
-  check_int "base" 5_000 (Ofp.next_interval p ~waiter_gap:None);
-  check_int "doubled" 10_000 (Ofp.next_interval p ~waiter_gap:None);
-  check_int "doubled again" 20_000 (Ofp.next_interval p ~waiter_gap:None)
+  check_int "base" 5_000 (Ofp.next_interval p ~waiter_gap:0);
+  check_int "doubled" 10_000 (Ofp.next_interval p ~waiter_gap:0);
+  check_int "doubled again" 20_000 (Ofp.next_interval p ~waiter_gap:0)
 
 let test_ofp_chunk_reset () =
   let p = Ofp.create (Ofp.Adaptive { base = 5_000; cap = 40_000 }) in
   Ofp.begin_chunk p;
-  ignore (Ofp.next_interval p ~waiter_gap:None);
-  ignore (Ofp.next_interval p ~waiter_gap:None);
+  ignore (Ofp.next_interval p ~waiter_gap:0);
+  ignore (Ofp.next_interval p ~waiter_gap:0);
   Ofp.begin_chunk p;
-  check_int "reset to base" 5_000 (Ofp.next_interval p ~waiter_gap:None)
+  check_int "reset to base" 5_000 (Ofp.next_interval p ~waiter_gap:0)
 
 let test_ofp_targets_waiter () =
   let p = Ofp.create (Ofp.Adaptive { base = 5_000; cap = 40_000 }) in
   Ofp.begin_chunk p;
-  check_int "exact gap" 123 (Ofp.next_interval p ~waiter_gap:(Some 123))
+  check_int "exact gap" 123 (Ofp.next_interval p ~waiter_gap:123)
 
 let test_ofp_nonpositive_gap_falls_back () =
   let p = Ofp.create (Ofp.Adaptive { base = 5_000; cap = 40_000 }) in
   Ofp.begin_chunk p;
-  check_int "ignores stale gap" 5_000 (Ofp.next_interval p ~waiter_gap:(Some 0))
+  check_int "ignores stale gap" 5_000 (Ofp.next_interval p ~waiter_gap:0)
 
 let test_ofp_fixed () =
   let p = Ofp.create (Ofp.Fixed 1_000) in
   Ofp.begin_chunk p;
-  check_int "fixed" 1_000 (Ofp.next_interval p ~waiter_gap:None);
-  check_int "fixed despite gap" 1_000 (Ofp.next_interval p ~waiter_gap:(Some 5));
+  check_int "fixed" 1_000 (Ofp.next_interval p ~waiter_gap:0);
+  check_int "fixed despite gap" 1_000 (Ofp.next_interval p ~waiter_gap:5);
   check_int "count" 2 (Ofp.overflows_scheduled p)
 
 let test_ofp_default_base () = check_int "paper value" 5_000 Ofp.default_base
 
 let prop_ofp_always_positive =
   QCheck.Test.make ~name:"overflow interval is always >= 1" ~count:200
-    QCheck.(pair (int_range 1 10) (list (option (int_range (-100) 10_000))))
+    QCheck.(pair (int_range 1 10) (list (int_range (-100) 10_000)))
     (fun (base, gaps) ->
       let p = Ofp.create (Ofp.Adaptive { base; cap = 40_000 }) in
       Ofp.begin_chunk p;
@@ -385,6 +481,7 @@ let () =
           Alcotest.test_case "fast forward" `Quick test_lc_fast_forward;
           Alcotest.test_case "next waiting gap" `Quick test_lc_next_waiting_gap;
           Alcotest.test_case "counts sorted" `Quick test_lc_counts_sorted;
+          QCheck_alcotest.to_alcotest prop_lc_index_matches_oracle;
         ] );
       ( "token",
         [
@@ -397,6 +494,7 @@ let () =
           Alcotest.test_case "last release published" `Quick test_token_last_release_published;
           Alcotest.test_case "holder/waiting introspection" `Quick
             test_token_holder_and_waiting_introspection;
+          Alcotest.test_case "handoff single wakeup" `Quick test_token_handoff_single_wakeup;
           Alcotest.test_case "eligible now" `Quick test_token_eligible_now;
         ] );
       ( "overflow-policy",
