@@ -22,7 +22,7 @@ let full_threads = [ 2; 4; 8; 16; 32 ]
 let section_names =
   [
     "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "determinism"; "tso";
-    "climit"; "soundness"; "locking"; "chunking"; "micro"; "sched";
+    "races"; "climit"; "soundness"; "locking"; "chunking"; "micro"; "sched";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -288,6 +288,7 @@ let run_section ~threads name =
     | "fig16" -> fig (fun () -> Figures.Fig16.run ())
     | "determinism" -> fig (fun () -> Figures.Determinism_report.run ())
     | "tso" -> fig (fun () -> Figures.Tso_report.run ())
+    | "races" -> fig (fun () -> Figures.Race_report.run ())
     | "climit" -> fig (fun () -> Figures.Climit_study.run ())
     | "soundness" -> fig (fun () -> Figures.Soundness_study.run ())
     | "locking" -> fig (fun () -> Figures.Locking_study.run ())

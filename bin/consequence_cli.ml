@@ -8,7 +8,8 @@
      lrc       run the Fig 16 memory-propagation study on one benchmark
      check     determinism self-check for one benchmark across seeds
      schedule  print the deterministic global synchronization schedule
-     stress    fuzz determinism with seeded random programs *)
+     stress    fuzz determinism with seeded random programs
+     races     race-audit one benchmark, or sweep the whole suite *)
 
 open Cmdliner
 
@@ -288,6 +289,69 @@ let stress_cmd =
     (Cmd.info "stress" ~doc:"Fuzz determinism with seeded random programs.")
     Term.(const action $ runtime_arg $ threads_arg $ programs_arg $ seeds_arg $ jobs_arg)
 
+(* --- races ------------------------------------------------------------ *)
+
+let races_cmd =
+  let action runtime threads seed name full_vector json out jobs =
+    apply_jobs jobs;
+    let mode = if full_vector then Race.Detector.Full_vector else Race.Detector.Epoch in
+    match name with
+    | Some name -> (
+        (* The bank calibration workloads are auditable by name even
+           though they are not part of the 19-benchmark suite. *)
+        let extras = [ Workload.Bank.racy; Workload.Bank.locked; Workload.Bank.atomic ] in
+        let program =
+          match List.find_opt (fun p -> p.Api.name = name) extras with
+          | Some p -> Ok p
+          | None -> find_program name
+        in
+        match program with
+        | Error e ->
+            prerr_endline e;
+            exit 1
+        | Ok program ->
+            let report, _ = Race.Audit.run ~mode ~seed ~nthreads:threads runtime program in
+            if json then print_endline (Obs.Json.to_string (Race.Report.to_json report))
+            else print_endline (Race.Report.to_string report))
+    | None ->
+        let fig = Figures.Race_report.run ~threads () in
+        Figures.Fig_output.print fig;
+        let file = Option.value out ~default:"BENCH_races.json" in
+        Obs.Json.to_file file (Figures.Fig_output.to_json fig);
+        Printf.printf "[races -> %s]\n" file
+  in
+  let name_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"BENCHMARK"
+          ~doc:
+            "Benchmark to audit (also bank-racy / bank-locked / bank-atomic).  Without it, \
+             sweep the whole suite and write the JSON report.")
+  in
+  let full_vector_arg =
+    Arg.(
+      value & flag
+      & info [ "full-vector" ]
+          ~doc:"Use the full-vector oracle instead of the O(1) epoch verdicts.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the single-benchmark report as JSON.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file for the sweep JSON (default BENCH_races.json).")
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Classify merge conflicts racy vs sync-ordered; the deterministic runtimes make \
+          the report byte-identical across seeds.")
+    Term.(
+      const action $ runtime_arg $ threads_arg $ seed_arg $ name_arg $ full_vector_arg
+      $ json_arg $ out_arg $ jobs_arg)
+
 (* --- check ------------------------------------------------------------ *)
 
 let check_cmd =
@@ -335,4 +399,5 @@ let () =
             check_cmd;
             schedule_cmd;
             stress_cmd;
+            races_cmd;
           ]))

@@ -10,54 +10,17 @@
    still buggy, but it is buggy THE SAME WAY every single time: the bug
    reproduces on the first try, every try.
 
+   The second section turns the race detector loose on the same program
+   (lib/race): the racy bank is REPORTED racy, the mutex- and
+   atomic-fixed variants audit clean, and under a deterministic runtime
+   the report itself is byte-identical across seeds — a reproducible
+   bug report for a scheduling bug.
+
    The third section shows the paper's proposed fix for atomic operations
    (section 2.7): routing the RMW through the global token restores both
    atomicity and determinism. *)
 
-let accounts = 8
-let account_addr i = 8 * i
-let initial_balance = 1_000
-
-let make_program ~atomic =
-  Api.make
-    ~name:(if atomic then "bank-atomic" else "bank-racy")
-    ~heap_pages:16 ~page_size:256
-    (fun ~nthreads ops ->
-      (* Fund the accounts. *)
-      for i = 0 to accounts - 1 do
-        ops.Api.write_int ~addr:(account_addr i) initial_balance
-      done;
-      ops.Api.barrier_init 0 nthreads;
-      let workers =
-        List.init nthreads (fun i ->
-            ops.Api.spawn (fun w ->
-                w.Api.barrier_wait 0;
-                (* Shuffle money around with racy (or atomic) transfers. *)
-                for round = 1 to 25 do
-                  let src = (i + round) mod accounts in
-                  let dst = (i + (3 * round)) mod accounts in
-                  if src <> dst then
-                    if atomic then begin
-                      ignore (w.Api.atomic_fetch_add ~addr:(account_addr src) (-10));
-                      ignore (w.Api.atomic_fetch_add ~addr:(account_addr dst) 10)
-                    end
-                    else begin
-                      (* read ... compute ... write: the racy window *)
-                      let s = w.Api.read_int ~addr:(account_addr src) in
-                      w.Api.work (100 + i);
-                      w.Api.write_int ~addr:(account_addr src) (s - 10);
-                      let d = w.Api.read_int ~addr:(account_addr dst) in
-                      w.Api.work 80;
-                      w.Api.write_int ~addr:(account_addr dst) (d + 10)
-                    end
-                done))
-      in
-      List.iter ops.Api.join workers;
-      let total = ref 0 in
-      for i = 0 to accounts - 1 do
-        total := !total + ops.Api.read_int ~addr:(account_addr i)
-      done;
-      ops.Api.log_output (Printf.sprintf "total=%d" !total))
+let expected = Workload.Bank.accounts * Workload.Bank.initial_balance
 
 (* Recover the logged total by re-running with a host-side spy. *)
 let total_of rt ~seed program =
@@ -65,9 +28,8 @@ let total_of rt ~seed program =
   (r.Stats.Run_result.mem_hash, r.Stats.Run_result.output_hash)
 
 let () =
-  let expected = accounts * initial_balance in
-  let racy = make_program ~atomic:false in
-  let atomic = make_program ~atomic:true in
+  let racy = Workload.Bank.racy in
+  let atomic = Workload.Bank.atomic in
   Printf.printf "total money in the system should always be %d\n\n" expected;
 
   Printf.printf "racy transfers, 6 runs per runtime (distinct outcomes seen):\n";
@@ -84,6 +46,23 @@ let () =
            else ""
          else "  <- a heisenbug: different money lost each run"))
     Runtime.Run.all;
+
+  Printf.printf "\nrace audit (lib/race) of each variant under consequence-ic:\n";
+  List.iter
+    (fun program ->
+      let report, _ =
+        Race.Audit.run ~seed:1 ~nthreads:8 Runtime.Run.consequence_ic program
+      in
+      Printf.printf "  %-12s %3d conflicts, %3d racy%s\n" program.Api.name
+        report.Race.Report.conflicts report.Race.Report.racy
+        (if report.Race.Report.racy > 0 then "  <- the lost update, caught and attributed"
+         else "  <- audits clean"))
+    [ racy; Workload.Bank.locked; atomic ];
+  let stable =
+    Race.Audit.stable_across_seeds ~nthreads:8 ~seeds:[ 1; 2; 42 ]
+      Runtime.Run.consequence_ic racy
+  in
+  Printf.printf "  report byte-identical across seeds: %b\n" stable;
 
   Printf.printf "\natomic transfers (section 2.7 fix), 6 runs per runtime:\n";
   let reference = total_of Runtime.Run.pthreads ~seed:1 atomic in

@@ -105,6 +105,7 @@ let observer t (ev : Runtime.Rt_event.t) =
           t.pages_seen;
         Hashtbl.replace t.thread_vc tid new_vc
       end
+  | Runtime.Rt_event.Conflict _ -> ()
 
 let lrc_pages t = t.lrc_pages
 let acquires t = t.acquires

@@ -9,6 +9,7 @@ type category =
   | Fork
   | Join
   | Sync
+  | Race
 
 let category_name = function
   | Chunk -> "chunk"
@@ -21,6 +22,7 @@ let category_name = function
   | Fork -> "fork"
   | Join -> "join"
   | Sync -> "sync"
+  | Race -> "race"
 
 type t = {
   name : string;

@@ -21,6 +21,7 @@ type category =
   | Fork  (** thread creation / pool recycling *)
   | Join  (** joining a child thread *)
   | Sync  (** instantaneous synchronization markers *)
+  | Race  (** merge-conflict / race-detector markers *)
 
 val category_name : category -> string
 (** Stable lower-snake-case name (used as the Chrome trace [cat] field). *)

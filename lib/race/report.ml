@@ -1,0 +1,92 @@
+type t = {
+  workload : string;
+  runtime : string;
+  nthreads : int;
+  events : int;
+  conflicts : int;
+  racy : int;
+  sync_ordered : int;
+  conflict_bytes : int;
+  racy_bytes : int;
+  racy_pages : (int * int) list;
+  samples : string list;
+  sample_events : Runtime.Rt_event.t list;
+}
+
+let max_samples = 5
+
+let of_detector ~workload ~runtime ~nthreads det =
+  let findings = Detector.findings det in
+  let racy_findings =
+    List.filter (fun f -> f.Detector.verdict = Detector.Racy) findings
+  in
+  let page_counts = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      match f.Detector.event with
+      | Runtime.Rt_event.Conflict { page; _ } ->
+          Hashtbl.replace page_counts page
+            (1 + Option.value ~default:0 (Hashtbl.find_opt page_counts page))
+      | _ -> ())
+    racy_findings;
+  let racy_pages =
+    Hashtbl.fold (fun p n acc -> (p, n) :: acc) page_counts []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  let sampled = List.filteri (fun i _ -> i < max_samples) racy_findings in
+  let samples =
+    sampled
+    |> List.map (fun f ->
+           let via =
+             match f.Detector.via with None -> "" | Some o -> " last-acq:" ^ o
+           in
+           Format.asprintf "%a clock:%a%s" Runtime.Rt_event.pp f.Detector.event
+             Hb.Vector_clock.pp f.Detector.winner_clock via)
+  in
+  {
+    workload;
+    runtime;
+    nthreads;
+    events = Detector.events det;
+    conflicts = Detector.conflicts det;
+    racy = Detector.racy det;
+    sync_ordered = Detector.sync_ordered det;
+    conflict_bytes = Detector.conflict_bytes det;
+    racy_bytes = Detector.racy_bytes det;
+    racy_pages;
+    samples;
+    sample_events = List.map (fun f -> f.Detector.event) sampled;
+  }
+
+let to_json r : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [
+      ("workload", String r.workload);
+      ("runtime", String r.runtime);
+      ("nthreads", Int r.nthreads);
+      ("events", Int r.events);
+      ("conflicts", Int r.conflicts);
+      ("racy", Int r.racy);
+      ("sync_ordered", Int r.sync_ordered);
+      ("conflict_bytes", Int r.conflict_bytes);
+      ("racy_bytes", Int r.racy_bytes);
+      ( "racy_pages",
+        List
+          (List.map (fun (p, n) -> Obj [ ("page", Int p); ("count", Int n) ]) r.racy_pages) );
+      ("samples", List (List.map (fun s -> String s) r.samples));
+      ("sample_events", List (List.map Runtime.Rt_event.to_json r.sample_events));
+    ]
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%s on %s (%d threads): %d conflicts (%d racy, %d sync-ordered)"
+    r.workload r.runtime r.nthreads r.conflicts r.racy r.sync_ordered;
+  Format.fprintf ppf "@,  bytes: %d conflicting, %d racy" r.conflict_bytes r.racy_bytes;
+  if r.racy_pages <> [] then begin
+    Format.fprintf ppf "@,  racy pages:";
+    List.iter (fun (p, n) -> Format.fprintf ppf " p%d(%d)" p n) r.racy_pages
+  end;
+  List.iter (fun s -> Format.fprintf ppf "@,  race: %s" s) r.samples;
+  Format.fprintf ppf "@]"
+
+let to_string r = Format.asprintf "%a" pp r

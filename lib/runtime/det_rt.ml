@@ -48,6 +48,17 @@ type thread_state = {
   mutable post_site_instr : int;
   post_ewma : (int, float) Hashtbl.t;
   (* Observability bookkeeping (never read by the algorithms) *)
+  mutable race_epoch : int;
+      (* release count + 1: the thread's own vector-clock component as a
+         race detector replaying our event stream tracks it.  Only
+         maintained when an observer is attached. *)
+  mutable chunk_epoch : int;
+      (* [race_epoch] as of the start of the chunk currently being
+         written: reset at every commit-and-update point (including
+         clean ones, which emit no Commit event) and advanced past any
+         release that precedes the chunk's first write.  Commits stamp
+         their version with it so conflicts can be classified against
+         the loser's *chunk*, not its commit instant. *)
   mutable token_t0 : int;  (** time the global was acquired; -1 = not held *)
   mutable chunk_open_ns : int;  (** time the current chunk opened *)
   mutable serial_sticky : bool;
@@ -110,6 +121,10 @@ type t = {
   mutable serial_queue : int list;
   mutable serial_acquisitions : int;
   observer : Rt_event.observer option;
+  race_stamp : (int, int * int) Hashtbl.t;
+      (* committed version -> (committer, committer's chunk-start
+         release-epoch); lets conflict events carry the loser's chunk
+         stamp.  Only populated when an observer is attached. *)
   obs : Obs.Sink.t;
   metrics : Obs.Metrics.t;
   (* Interned metric handles: the hot paths record through these instead
@@ -224,14 +239,16 @@ let emitting rt = rt.observer <> None || not (Obs.Sink.is_null rt.obs)
 let emit rt ev =
   (match rt.observer with Some f -> f ev | None -> ());
   if tracing rt then begin
-    let iname, itid =
-      match ev with
-      | Rt_event.Commit { tid; version; _ } -> (Printf.sprintf "commit:v%d" version, tid)
-      | Rt_event.Release { tid; obj } -> ("rel:" ^ obj, tid)
-      | Rt_event.Acquire { tid; obj } -> ("acq:" ^ obj, tid)
+    let icat =
+      match ev with Rt_event.Conflict _ -> Obs.Span.Race | _ -> Obs.Span.Sync
     in
     rt.obs.Obs.Sink.instant
-      { Obs.Span.iname; icat = Obs.Span.Sync; itid; itime = Sim.Engine.now rt.eng }
+      {
+        Obs.Span.iname = Rt_event.label ev;
+        icat;
+        itid = Rt_event.tid ev;
+        itime = Sim.Engine.now rt.eng;
+      }
   end
 
 let new_mutex_rec () =
@@ -370,6 +387,62 @@ let counter_read rt th =
    the deferred window is a real-time race, which breaks determinism.
    The parallel-barrier commit (section 4.2) is the one sanctioned
    exception — see [barrier_wait]. *)
+(* A Release bumps the thread's own clock component; a release that
+   precedes the current chunk's first write (workspace still clean) also
+   moves the chunk start past itself, since it cannot order writes that
+   have not happened yet.  Coarsened fast-path releases over a dirty
+   workspace leave the chunk start alone: the deferred commit's writes
+   straddle them, and the chunk is classified as a whole. *)
+let emit_release rt th obj =
+  if emitting rt then begin
+    emit rt (Rt_event.Release { tid = th.tid; obj });
+    th.race_epoch <- th.race_epoch + 1;
+    if not (Vmem.Workspace.is_dirty th.ws) then th.chunk_epoch <- th.race_epoch
+  end
+
+(* Conflicts precede their Commit in the stream so a consumer sees the
+   merge resolution before the version becomes the newest committed
+   state.  [loser_version] is translated from a segment version to the
+   loser's chunk-start release-epoch — the same currency the pthreads
+   runtime stamps conflicts with — so the detector's verdict is one
+   component comparison.  [conflicts] is [] unless the workspace tracks
+   them, which [new_thread_state] enables exactly when [emitting rt]. *)
+let emit_conflicts rt th (ci : Vmem.Workspace.commit_info) =
+  if emitting rt then
+    List.iter
+      (fun (c : Vmem.Workspace.conflict) ->
+        let loser_tid, loser_epoch =
+          (* Every version was stamped at its commit; an unknown one
+             (impossible today) classifies as racy, which is the loud
+             failure mode for a race detector. *)
+          match Hashtbl.find_opt rt.race_stamp c.loser_version with
+          | Some stamp -> stamp
+          | None -> (c.loser_tid, max_int)
+        in
+        emit rt
+          (Rt_event.Conflict
+             {
+               tid = th.tid;
+               version = ci.version;
+               page = c.cpage;
+               first_byte = c.first_byte;
+               last_byte = c.last_byte;
+               loser_tid;
+               loser_version = loser_epoch;
+             }))
+      ci.conflicts
+
+(* Every commit-and-update point closes the thread's write chunk: stamp
+   the published version with the closing chunk's start epoch and open a
+   new chunk at the current epoch.  Clean commits emit no event but
+   still reset the chunk — their sync op delimits writes all the same. *)
+let stamp_commit rt th (ci : Vmem.Workspace.commit_info) =
+  if emitting rt then begin
+    if ci.pages_committed > 0 then
+      Hashtbl.replace rt.race_stamp ci.version (th.tid, th.chunk_epoch);
+    th.chunk_epoch <- th.race_epoch
+  end
+
 let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
   if ci.pages_committed > 0 then begin
     let t0 = Sim.Engine.now rt.eng in
@@ -389,6 +462,7 @@ let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
         ~args:[ ("pages", ci.pages_committed); ("merged", ci.pages_merged) ]
         ();
     record_sync rt th ~op:rt.mh.mh_op_commit ("commit:" ^ string_of_int ci.version);
+    emit_conflicts rt th ci;
     if emitting rt then emit rt (Rt_event.Commit { tid = th.tid; version = ci.version; pages = ci.committed_pages })
   end
 
@@ -414,6 +488,7 @@ let charge_update rt th (ui : Vmem.Workspace.update_info) =
 (* The paper's convCommitAndUpdateMem(). *)
 let commit_and_update rt th =
   let ci = Vmem.Workspace.commit th.ws in
+  stamp_commit rt th ci;
   charge_commit rt th ci;
   let ui = Vmem.Workspace.update th.ws in
   charge_update rt th ui;
@@ -846,7 +921,7 @@ let mutex_unlock rt th mid =
     settle_post_unlock rt th;
     release_mutex rt ~waker:th m;
     record_sync rt th ~op:rt.mh.mh_op_unlock (unlock_label mid);
-    if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
+    emit_release rt th (Rt_event.obj_mutex mid);
     th.coarsen_ops <- th.coarsen_ops + 1;
     charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns;
     (* Continue coarsening over the upcoming chunk if it is expected to
@@ -859,7 +934,7 @@ let mutex_unlock rt th mid =
     release_mutex rt ~waker:th m;
     commit_and_update rt th;
     record_sync rt th ~op:rt.mh.mh_op_unlock (unlock_label mid);
-    if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
+    emit_release rt th (Rt_event.obj_mutex mid);
     if coarsen_decision rt th ~estimate:post_estimate then begin_coarsen rt th
     else leave_coordination rt th;
     note_post ()
@@ -875,7 +950,7 @@ let cond_wait rt th cid mid =
   release_mutex rt ~waker:th m;
   commit_and_update rt th;
   record_sync rt th ~op:rt.mh.mh_op_cond_wait ("cond_wait:" ^ string_of_int cid);
-  if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_mutex mid });
+  emit_release rt th (Rt_event.obj_mutex mid);
   th.cond_grant <- false;
   Queue.push th.tid c.cond_waitq;
   release_global rt th;
@@ -920,7 +995,7 @@ and cond_signal_slow rt th cid ~broadcast =
   record_sync rt th
     ~op:(if broadcast then rt.mh.mh_op_broadcast else rt.mh.mh_op_signal)
     ((if broadcast then "broadcast:" else "signal:") ^ string_of_int cid);
-  if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_cond cid });
+  emit_release rt th (Rt_event.obj_cond cid);
   leave_coordination rt th
 
 let barrier_init rt th bid parties =
@@ -943,6 +1018,7 @@ let barrier_wait rt th bid =
         merge) is charged after the token is released, so committers
         overlap. *)
      let ci = Vmem.Workspace.commit th.ws in
+     stamp_commit rt th ci;
      if ci.Vmem.Workspace.pages_committed > 0 then begin
        let t0 = Sim.Engine.now rt.eng in
        charge rt th Bd.Commit
@@ -957,6 +1033,7 @@ let barrier_wait rt th bid =
            ~args:[ ("pages", ci.Vmem.Workspace.pages_committed) ]
            ();
        record_sync rt th ~op:rt.mh.mh_op_commit ("commit:" ^ string_of_int ci.Vmem.Workspace.version);
+       emit_conflicts rt th ci;
        if emitting rt then
          emit rt
            (Rt_event.Commit
@@ -974,10 +1051,12 @@ let barrier_wait rt th bid =
      (* Serial barrier commit (DWC-style, paper section 5.2): the entire
         page volume is installed while holding the turn, so concurrent
         barrier committers serialize. *)
-     charge_commit rt th (Vmem.Workspace.commit th.ws));
+     let ci = Vmem.Workspace.commit th.ws in
+     stamp_commit rt th ci;
+     charge_commit rt th ci);
   th.since_commit <- 0;
   record_sync rt th ~op:rt.mh.mh_op_barrier ("barrier:" ^ string_of_int bid);
-  if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_barrier bid });
+  emit_release rt th (Rt_event.obj_barrier bid);
   b.arrived_tids <- th.tid :: b.arrived_tids;
   let last = List.length b.arrived_tids = b.parties in
   th.barrier_grant <- false;
@@ -1050,6 +1129,7 @@ let atomic_fetch_add rt th ~addr delta =
   Vmem.Workspace.write_int th.ws ~addr (v + delta);
   charge_new_faults rt th before;
   let ci = Vmem.Workspace.commit th.ws in
+  stamp_commit rt th ci;
   charge_commit rt th ci;
   let ui = Vmem.Workspace.update th.ws in
   charge_update rt th ui;
@@ -1110,11 +1190,15 @@ and new_thread_state rt ~tid ~name ~inherit_count =
       Ofp.Adaptive { base = Ofp.default_base; cap = Ofp.default_cap }
     else Ofp.Fixed Ofp.default_base
   in
+  let ws = Vmem.Workspace.create rt.seg ~tid in
+  (* Conflict capture only feeds the event stream: pay the extra merge
+     scan only when somebody is listening. *)
+  if emitting rt then Vmem.Workspace.set_track_conflicts ws true;
   {
     tid;
     name;
     clock;
-    ws = Vmem.Workspace.create rt.seg ~tid;
+    ws;
     bd = Bd.create ();
     prng = Sim.Prng.split (Sim.Engine.prng rt.eng);
     ofp = Ofp.create ofp_kind;
@@ -1141,13 +1225,15 @@ and new_thread_state rt ~tid ~name ~inherit_count =
     token_t0 = -1;
     chunk_open_ns = Sim.Engine.now rt.eng;
     serial_sticky = false;
+    race_epoch = 1;
+    chunk_epoch = 1;
   }
 
 and thread_exit rt th =
   enter_coordination rt th;
   commit_and_update rt th;
   record_sync rt th ~op:rt.mh.mh_op_exit "exit";
-  if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_thread th.tid ^ ":exit" });
+  emit_release rt th (Rt_event.obj_thread th.tid ^ ":exit");
   th.exited <- true;
   if rt.cfg.thread_pool then rt.pool_size <- rt.pool_size + 1;
   release_global rt th;
@@ -1185,7 +1271,7 @@ and spawn_thread rt th ?name body =
    end);
   let child = new_thread_state rt ~tid:child_tid ~name ~inherit_count:(Lc.published th.clock) in
   add_thread rt child;
-  if emitting rt then emit rt (Rt_event.Release { tid = th.tid; obj = Rt_event.obj_thread child_tid });
+  emit_release rt th (Rt_event.obj_thread child_tid);
   let fiber_id =
     Sim.Engine.spawn rt.eng ~name (fun () ->
         (* A recycled thread must refresh its view of memory. *)
@@ -1288,6 +1374,7 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
       serial_queue = [];
       serial_acquisitions = 0;
       observer;
+      race_stamp = Hashtbl.create 256;
       obs;
       metrics;
       mh =

@@ -13,6 +13,10 @@ type thread_state = {
   mutable lock_grant : bool;
   mutable cond_grant : bool;
   mutable join_grant : bool;
+  mutable epoch : int;
+      (* release count + 1: the thread's own vector-clock component as a
+         race detector replaying our event stream would track it.  Only
+         maintained (and only meaningful) when an observer is attached. *)
 }
 
 type mutex_rec = { mutable held_by : int option; waitq : int Queue.t }
@@ -39,6 +43,11 @@ type t = {
   mutable sync_ops : int;
   obs : Obs.Sink.t;
   metrics : Obs.Metrics.t;
+  observer : Rt_event.observer option;
+  shadow : (int, int array) Hashtbl.t;
+      (* page -> last writer per 8-byte word, packed [(epoch lsl 20) lor
+         tid], 0 = never written.  Lazily allocated, and only when an
+         observer is attached: bare runs never touch it. *)
 }
 
 let thread rt tid = Hashtbl.find rt.threads tid
@@ -69,6 +78,79 @@ let charge_wait rt th ~category ~scat ~key ~name ~t0 =
   if waited > 0 && not (Obs.Sink.is_null rt.obs) then
     rt.obs.Obs.Sink.span
       { Obs.Span.name; cat = scat; tid = th.tid; t0; t1 = Sim.Engine.now rt.eng; args = [] }
+
+(* Happens-before event emission.  Pthreads has no deterministic token
+   order, so the stream follows simulated wall-clock order — which is the
+   point: racy workloads produce seed-varying streams here, and the race
+   detector's job is to tell which conflicts that variation can move.
+   Emission charges no cost and never blocks: instrumented runs keep the
+   exact timing of bare ones. *)
+let emitting rt = rt.observer <> None
+let emit rt ev = match rt.observer with Some f -> f ev | None -> ()
+
+let emit_acquire rt th obj = if emitting rt then emit rt (Rt_event.Acquire { tid = th.tid; obj })
+
+let emit_release rt th obj =
+  if emitting rt then begin
+    emit rt (Rt_event.Release { tid = th.tid; obj });
+    th.epoch <- th.epoch + 1
+  end
+
+(* Word-granularity write tracking for the conflict channel.  A write
+   that overwrites a word last written by another thread is reported as
+   an [Rt_event.Conflict] carrying both writers' release-epochs; the
+   detector decides whether synchronization ordered them.  Adjacent
+   words with the same previous writer coalesce into one run. *)
+let note_write rt th ?(report = true) ~addr ~len () =
+  if emitting rt && len > 0 then begin
+    let pack = (th.epoch lsl 20) lor th.tid in
+    let first = addr lsr 3 and last = (addr + len - 1) lsr 3 in
+    let words_per_page = rt.page_size lsr 3 in
+    (* Open run: [run_first_w..w-1] all conflicted against [run_prev]. *)
+    let run_first_w = ref (-1) and run_prev = ref 0 in
+    let close lim_w =
+      if !run_first_w >= 0 then begin
+        let page = !run_first_w / words_per_page in
+        let first_byte = (!run_first_w mod words_per_page) lsl 3 in
+        let last_byte = first_byte + (((lim_w - !run_first_w) lsl 3) - 1) in
+        emit rt
+          (Rt_event.Conflict
+             {
+               tid = th.tid;
+               version = th.epoch;
+               page;
+               first_byte;
+               last_byte;
+               loser_tid = !run_prev land 0xFFFFF;
+               loser_version = !run_prev lsr 20;
+             });
+        run_first_w := -1
+      end
+    in
+    for w = first to last do
+      let page = w / words_per_page in
+      let slots =
+        match Hashtbl.find_opt rt.shadow page with
+        | Some s -> s
+        | None ->
+            let s = Array.make words_per_page 0 in
+            Hashtbl.replace rt.shadow page s;
+            s
+      in
+      let off = w mod words_per_page in
+      let prev = Array.unsafe_get slots off in
+      let conflicting = report && prev <> 0 && prev land 0xFFFFF <> th.tid in
+      if conflicting && !run_first_w >= 0 && prev <> !run_prev then close w;
+      if off = 0 && !run_first_w >= 0 then close w;
+      if conflicting && !run_first_w < 0 then begin
+        run_first_w := w;
+        run_prev := prev
+      end
+      else if not conflicting then close w;
+      Array.unsafe_set slots off pack
+    done;
+    close (last + 1)
+  end
 
 let mutex_of rt id =
   match Hashtbl.find_opt rt.mutexes id with
@@ -122,6 +204,7 @@ let write rt th ~addr buf =
   check_range rt ~addr ~len;
   work rt th (mem_instr rt len);
   if len > 0 then touch rt ~addr ~len;
+  note_write rt th ~addr ~len ();
   Bytes.blit buf 0 rt.mem addr len
 
 let read_int rt th ~addr =
@@ -133,15 +216,20 @@ let write_int rt th ~addr v =
   check_range rt ~addr ~len:8;
   work rt th 1;
   touch rt ~addr ~len:8;
+  note_write rt th ~addr ~len:8 ();
   Bytes.set_int64_le rt.mem addr (Int64.of_int v)
 
 (* A hardware atomic: the fiber is not descheduled between the load and
-   the store, so the RMW is indivisible. *)
-let fetch_add rt th ~addr delta =
+   the store, so the RMW is indivisible.  [report] distinguishes the
+   plain RMW (a race participant) from the atomic one (synchronization:
+   it updates the shadow so later plain writes racing with it are
+   caught, but is never itself reported as a conflict). *)
+let fetch_add rt th ~report ~addr delta =
   check_range rt ~addr ~len:8;
   work rt th 10;
   let v = Int64.to_int (Bytes.get_int64_le rt.mem addr) in
   touch rt ~addr ~len:8;
+  note_write rt th ~report ~addr ~len:8 ();
   Bytes.set_int64_le rt.mem addr (Int64.of_int (v + delta));
   v
 
@@ -160,13 +248,15 @@ let mutex_lock rt th mid =
       ~name:(Printf.sprintf "lock:%d" mid) ~t0;
     m.held_by <- Some th.tid
   end;
-  record_sync rt th (Printf.sprintf "lock:%d" mid)
+  record_sync rt th (Printf.sprintf "lock:%d" mid);
+  emit_acquire rt th (Rt_event.obj_mutex mid)
 
 let mutex_unlock rt th mid =
   let m = mutex_of rt mid in
   if m.held_by <> Some th.tid then
     invalid_arg (Printf.sprintf "unlock: thread %d does not hold mutex %d" th.tid mid);
   charge rt th Bd.Library rt.costs.Cost_model.pthread_unlock_ns;
+  emit_release rt th (Rt_event.obj_mutex mid);
   m.held_by <- None;
   if not (Queue.is_empty m.waitq) then begin
     let next = Queue.pop m.waitq in
@@ -191,6 +281,7 @@ let cond_wait rt th cid mid =
   done;
   charge_wait rt th ~category:Bd.Lock_wait ~scat:Obs.Span.Lock_wait ~key:"lock_wait_ns"
     ~name:(Printf.sprintf "cond:%d" cid) ~t0;
+  emit_acquire rt th (Rt_event.obj_cond cid);
   mutex_lock rt th mid
 
 let cond_signal rt th cid ~broadcast =
@@ -206,7 +297,8 @@ let cond_signal rt th cid ~broadcast =
     end
   in
   grant_one ();
-  record_sync rt th (Printf.sprintf "%s:%d" (if broadcast then "broadcast" else "signal") cid)
+  record_sync rt th (Printf.sprintf "%s:%d" (if broadcast then "broadcast" else "signal") cid);
+  emit_release rt th (Rt_event.obj_cond cid)
 
 let barrier_init _rt _th b parties =
   if parties <= 0 then invalid_arg "barrier_init: parties must be > 0";
@@ -217,6 +309,7 @@ let barrier_wait rt th bid =
   if b.parties = 0 then invalid_arg (Printf.sprintf "barrier %d: not initialized" bid);
   charge rt th Bd.Library rt.costs.Cost_model.pthread_barrier_ns;
   record_sync rt th (Printf.sprintf "barrier:%d" bid);
+  emit_release rt th (Rt_event.obj_barrier bid);
   b.arrived_tids <- th.tid :: b.arrived_tids;
   if List.length b.arrived_tids = b.parties then begin
     let others = List.filter (fun tid -> tid <> th.tid) b.arrived_tids in
@@ -234,7 +327,8 @@ let barrier_wait rt th bid =
       ~key:"barrier_wait_ns"
       ~name:(Printf.sprintf "barrier:%d" bid)
       ~t0
-  end
+  end;
+  emit_acquire rt th (Rt_event.obj_barrier bid)
 
 let rec make_ops rt th : Api.ops =
   {
@@ -245,8 +339,8 @@ let rec make_ops rt th : Api.ops =
     write = (fun ~addr buf -> write rt th ~addr buf);
     read_int = (fun ~addr -> read_int rt th ~addr);
     write_int = (fun ~addr v -> write_int rt th ~addr v);
-    fetch_add = (fun ~addr delta -> fetch_add rt th ~addr delta);
-    atomic_fetch_add = (fun ~addr delta -> fetch_add rt th ~addr delta);
+    fetch_add = (fun ~addr delta -> fetch_add rt th ~report:true ~addr delta);
+    atomic_fetch_add = (fun ~addr delta -> fetch_add rt th ~report:false ~addr delta);
     lock = (fun m -> mutex_lock rt th m);
     unlock = (fun m -> mutex_unlock rt th m);
     cond_wait = (fun c m -> cond_wait rt th c m);
@@ -273,10 +367,12 @@ and new_thread_state rt ~tid ~tname =
     lock_grant = false;
     cond_grant = false;
     join_grant = false;
+    epoch = 1;
   }
 
 and thread_exit rt th =
   record_sync rt th "exit";
+  emit_release rt th (Rt_event.obj_thread th.tid ^ ":exit");
   th.exited <- true;
   match th.joiner with
   | Some j ->
@@ -291,8 +387,10 @@ and spawn_thread rt th ?name body =
   let tname = match name with Some n -> n | None -> Printf.sprintf "t%d" child_tid in
   let child = new_thread_state rt ~tid:child_tid ~tname in
   Hashtbl.replace rt.threads child_tid child;
+  emit_release rt th (Rt_event.obj_thread child_tid);
   let fiber_id =
     Sim.Engine.spawn rt.eng ~name:tname (fun () ->
+        emit_acquire rt child (Rt_event.obj_thread child_tid);
         body (make_ops rt child);
         thread_exit rt child)
   in
@@ -319,9 +417,10 @@ and join_thread rt th target_tid =
       ~name:(Printf.sprintf "join:%d" target_tid)
       ~t0
   end;
-  record_sync rt th (Printf.sprintf "join:%d" target_tid)
+  record_sync rt th (Printf.sprintf "join:%d" target_tid);
+  emit_acquire rt th (Rt_event.obj_thread target_tid ^ ":exit")
 
-let run ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?(obs = Obs.Sink.null)
+let run ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs = Obs.Sink.null)
     (program : Api.t) =
   let nthreads = match nthreads with Some n -> n | None -> program.Api.default_threads in
   let eng = Sim.Engine.create ~seed () in
@@ -342,6 +441,8 @@ let run ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?(obs = Obs.Sink.nul
       sync_ops = 0;
       obs;
       metrics = Obs.Metrics.create ();
+      observer;
+      shadow = Hashtbl.create 64;
     }
   in
   let main_state = new_thread_state rt ~tid:0 ~tname:"main" in

@@ -13,12 +13,21 @@ val run :
   ?costs:Cost_model.t ->
   ?seed:int ->
   ?nthreads:int ->
+  ?observer:Rt_event.observer ->
   ?obs:Obs.Sink.t ->
   Api.t ->
   Stats.Run_result.t
 (** [obs] (default {!Obs.Sink.null}) receives lock / barrier / join wait
     spans; pthreads has no token, chunks or commits, so only wait spans
-    and op counters appear. *)
+    and op counters appear.
+
+    [observer] receives happens-before events in simulated wall-clock
+    order: [Release]/[Acquire] edges for every sync operation, and
+    word-granularity [Conflict] events whenever a write overwrites a
+    word last written by another thread (the [version]/[loser_version]
+    fields carry the two threads' release-epochs).  Attaching an
+    observer allocates shadow state but charges no simulated cost: the
+    run's timing and results are unchanged. *)
 
 val name : string
 (** ["pthreads"]. *)

@@ -2,6 +2,15 @@ type t =
   | Commit of { tid : int; version : int; pages : int list }
   | Release of { tid : int; obj : string }
   | Acquire of { tid : int; obj : string }
+  | Conflict of {
+      tid : int;
+      version : int;
+      page : int;
+      first_byte : int;
+      last_byte : int;
+      loser_tid : int;
+      loser_version : int;
+    }
 
 type observer = t -> unit
 
@@ -9,3 +18,52 @@ let obj_mutex m = Printf.sprintf "m:%d" m
 let obj_cond c = Printf.sprintf "c:%d" c
 let obj_barrier b = Printf.sprintf "b:%d" b
 let obj_thread t = Printf.sprintf "t:%d" t
+
+let label = function
+  | Commit { version; _ } -> Printf.sprintf "commit:v%d" version
+  | Release { obj; _ } -> "rel:" ^ obj
+  | Acquire { obj; _ } -> "acq:" ^ obj
+  | Conflict { page; first_byte; last_byte; _ } ->
+      Printf.sprintf "conflict:p%d+%d..%d" page first_byte last_byte
+
+let tid = function
+  | Commit { tid; _ } | Release { tid; _ } | Acquire { tid; _ } | Conflict { tid; _ } -> tid
+
+let pp ppf ev =
+  match ev with
+  | Commit { tid; version; pages } ->
+      Format.fprintf ppf "@[commit t%d v%d [%s]@]" tid version
+        (String.concat "," (List.map string_of_int pages))
+  | Release { tid; obj } -> Format.fprintf ppf "rel t%d %s" tid obj
+  | Acquire { tid; obj } -> Format.fprintf ppf "acq t%d %s" tid obj
+  | Conflict { tid; version; page; first_byte; last_byte; loser_tid; loser_version } ->
+      Format.fprintf ppf "@[conflict t%d v%d p%d[%d..%d] over t%d v%d@]" tid version page
+        first_byte last_byte loser_tid loser_version
+
+let to_json ev : Obs.Json.t =
+  let open Obs.Json in
+  match ev with
+  | Commit { tid; version; pages } ->
+      Obj
+        [
+          ("kind", String "commit");
+          ("tid", Int tid);
+          ("version", Int version);
+          ("pages", List (List.map (fun p -> Int p) pages));
+        ]
+  | Release { tid; obj } ->
+      Obj [ ("kind", String "release"); ("tid", Int tid); ("obj", String obj) ]
+  | Acquire { tid; obj } ->
+      Obj [ ("kind", String "acquire"); ("tid", Int tid); ("obj", String obj) ]
+  | Conflict { tid; version; page; first_byte; last_byte; loser_tid; loser_version } ->
+      Obj
+        [
+          ("kind", String "conflict");
+          ("tid", Int tid);
+          ("version", Int version);
+          ("page", Int page);
+          ("first_byte", Int first_byte);
+          ("last_byte", Int last_byte);
+          ("loser_tid", Int loser_tid);
+          ("loser_version", Int loser_version);
+        ]

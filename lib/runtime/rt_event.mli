@@ -1,13 +1,16 @@
 (** Happens-before instrumentation events.
 
-    The deterministic runtime can report each commit, release and acquire
-    to an observer as it executes; the [hb] library replays these with
-    vector clocks to estimate what an LRC-based consistency model would
-    have propagated (paper section 5.3 / Fig 16).
+    The runtimes can report each commit, release, acquire and merge
+    conflict to an observer as they execute; the [hb] library replays
+    these with vector clocks to estimate what an LRC-based consistency
+    model would have propagated (paper section 5.3 / Fig 16), and the
+    [race] library classifies the conflicts as racy or sync-ordered.
 
     Objects are identified by strings: ["m:3"] (mutex), ["c:1"]
     (condition variable), ["b:0"] (barrier), ["t:5"] (thread start/exit
-    edge).  Events are emitted in the global total (token) order. *)
+    edge).  Events are emitted in the global total (token) order under
+    the deterministic runtimes, and in wall-clock simulation order under
+    pthreads. *)
 
 type t =
   | Commit of { tid : int; version : int; pages : int list }
@@ -18,6 +21,23 @@ type t =
   | Acquire of { tid : int; obj : string }
       (** acquire edge sink: lock, barrier departure, cond wake,
           thread start (child side), join *)
+  | Conflict of {
+      tid : int;  (** the winner: the thread whose commit merged *)
+      version : int;
+          (** deterministic runtimes: the version the winner committed;
+              pthreads: the winner's release-epoch at the racing write *)
+      page : int;
+      first_byte : int;  (** page-relative, inclusive *)
+      last_byte : int;  (** page-relative, inclusive *)
+      loser_tid : int;  (** committer whose bytes were overwritten *)
+      loser_version : int;
+          (** the loser's release epoch at the start of the chunk (or,
+              under pthreads, the instruction window) that wrote the
+              bytes: its k-th emitted [Release] publishes epoch k *)
+    }
+      (** one byte run the last-writer-wins merge silently resolved
+          (paper section 2.5); emitted just before the winner's
+          [Commit] under the deterministic runtimes *)
 
 type observer = t -> unit
 
@@ -25,3 +45,15 @@ val obj_mutex : int -> string
 val obj_cond : int -> string
 val obj_barrier : int -> string
 val obj_thread : int -> string
+
+val label : t -> string
+(** Short instant name used for trace spans: ["commit:v12"],
+    ["rel:m:3"], ["acq:b:0"], ["conflict:p4+16..23"]. *)
+
+val tid : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-liner, used by the race detector's report. *)
+
+val to_json : t -> Obs.Json.t
+(** Structured form for trace/bench emission. *)

@@ -15,11 +15,7 @@ let deterministic = function
 
 let run rt ?costs ?seed ?nthreads ?observer ?obs program =
   match rt with
-  | Pthreads ->
-      (* Pthreads has no deterministic global order, so there is no
-         happens-before stream to observe. *)
-      ignore observer;
-      Pthreads_rt.run ?costs ?seed ?nthreads ?obs program
+  | Pthreads -> Pthreads_rt.run ?costs ?seed ?nthreads ?observer ?obs program
   | Det cfg -> Det_rt.run cfg ?costs ?seed ?nthreads ?observer ?obs program
 
 let best_over_threads rt ?costs ?seed ~threads program =

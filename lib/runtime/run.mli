@@ -27,10 +27,12 @@ val run :
   ?obs:Obs.Sink.t ->
   Api.t ->
   Stats.Run_result.t
-(** [observer] receives the deterministic runtimes' happens-before
-    events (ignored under [Pthreads], which has no deterministic global
-    order).  [obs] receives timing spans on any runtime; see
-    {!Det_rt.run} for the determinism-neutrality guarantee. *)
+(** [observer] receives the runtime's happens-before events.  Under the
+    deterministic runtimes the stream follows the global token order and
+    is seed-invariant; under [Pthreads] it follows simulated wall-clock
+    order and varies with the seed for racy programs.  [obs] receives
+    timing spans on any runtime; see {!Det_rt.run} for the
+    determinism-neutrality guarantee. *)
 
 val best_over_threads :
   runtime ->

@@ -59,4 +59,43 @@ let merge_into ~twin ~local ~target =
   done;
   !n
 
+let conflict_runs ~twin ~local ~target =
+  check_lengths twin local "conflict_runs";
+  check_lengths twin target "conflict_runs";
+  let len = Bytes.length twin in
+  let words = len lsr 3 in
+  let runs = ref [] in
+  (* [run_first] is the start of the open run, or -1 when no run is open.
+     Bytes are visited in ascending order, so closing appends in order. *)
+  let run_first = ref (-1) and run_last = ref (-1) in
+  let close () =
+    if !run_first >= 0 then begin
+      runs := (!run_first, !run_last) :: !runs;
+      run_first := -1
+    end
+  in
+  let visit i =
+    let t = Bytes.unsafe_get twin i in
+    if Bytes.unsafe_get local i <> t && Bytes.unsafe_get target i <> t then
+      if !run_first >= 0 && !run_last = i - 1 then run_last := i
+      else begin
+        close ();
+        run_first := i;
+        run_last := i
+      end
+  in
+  for w = 0 to words - 1 do
+    let off = w lsl 3 in
+    let tw = unsafe_get_int64 twin off in
+    if tw <> unsafe_get_int64 local off && tw <> unsafe_get_int64 target off then
+      for i = off to off + 7 do
+        visit i
+      done
+  done;
+  for i = words lsl 3 to len - 1 do
+    visit i
+  done;
+  close ();
+  List.rev !runs
+
 let hash_into h page = Sim.Fnv.bytes h page

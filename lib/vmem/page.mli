@@ -29,5 +29,15 @@ val merge_into : twin:t -> local:t -> target:t -> int
     byte merge: bytes the thread did not touch keep [target]'s (i.e. the
     latest committed) value.  Word-level scan as in {!diff_count}. *)
 
+val conflict_runs : twin:t -> local:t -> target:t -> (int * int) list
+(** Maximal runs of {e truly conflicting} bytes — positions where the
+    thread changed the byte ([local] differs from [twin]) {e and} some
+    concurrent committer also changed it ([target] differs from [twin]).
+    These are exactly the bytes the last-writer-wins merge silently
+    resolves in the thread's favour.  Returns [(first, last)] inclusive
+    pairs, ascending and non-adjacent.  Must be called {e before}
+    {!merge_into} mutates [target].  Word-level scan as in
+    {!diff_count}. *)
+
 val hash_into : Sim.Fnv.t -> t -> Sim.Fnv.t
 (** Fold the page contents into a determinism-witness hash. *)

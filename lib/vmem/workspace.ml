@@ -1,9 +1,18 @@
+type conflict = {
+  cpage : int;
+  first_byte : int;
+  last_byte : int;
+  loser_tid : int;
+  loser_version : int;
+}
+
 type commit_info = {
   version : int;
   pages_committed : int;
   pages_merged : int;
   bytes_merged : int;
   committed_pages : int list;
+  conflicts : conflict list;
 }
 
 type update_info = {
@@ -37,6 +46,7 @@ type t = {
   aliased : (int, unit) Hashtbl.t; (* local entries that alias snapshots *)
   twins : (int, Page.t) Hashtbl.t; (* pristine copies of dirty pages *)
   dirty : (int, unit) Hashtbl.t;
+  mutable track_conflicts : bool;
   stats : stats;
 }
 
@@ -49,6 +59,7 @@ let create seg ~tid =
     aliased = Hashtbl.create 64;
     twins = Hashtbl.create 16;
     dirty = Hashtbl.create 16;
+    track_conflicts = false;
     stats =
       {
         write_faults = 0;
@@ -68,6 +79,8 @@ let base t = t.base
 let stats t = t.stats
 let is_dirty t = Hashtbl.length t.dirty > 0
 let dirty_count t = Hashtbl.length t.dirty
+let set_track_conflicts t on = t.track_conflicts <- on
+let track_conflicts t = t.track_conflicts
 let resident_pages t = Hashtbl.length t.local
 
 let page_size t = Segment.page_size t.seg
@@ -182,10 +195,12 @@ let commit t =
         pages_merged = 0;
         bytes_merged = 0;
         committed_pages = [];
+        conflicts = [];
       }
   | _ ->
       let latest = Segment.current_version t.seg in
       let merged = ref 0 and merged_bytes = ref 0 in
+      let conflicts = ref [] in
       let snapshots =
         List.map
           (fun i ->
@@ -195,6 +210,20 @@ let commit t =
                  modifications onto the newest committed copy. *)
               let target = Page.copy (Segment.read_page t.seg ~version:latest i) in
               let twin = Hashtbl.find t.twins i in
+              (if t.track_conflicts then begin
+                 (* Capture before merge_into overwrites [target].  The
+                    dirty list is ascending, so appending keeps conflicts
+                    ordered by (page, first_byte). *)
+                 let loser_version = Segment.last_mod t.seg i in
+                 let loser_tid = Segment.committer_of t.seg loser_version in
+                 if loser_tid <> t.tid then
+                   List.iter
+                     (fun (first_byte, last_byte) ->
+                       conflicts :=
+                         { cpage = i; first_byte; last_byte; loser_tid; loser_version }
+                         :: !conflicts)
+                     (Page.conflict_runs ~twin ~local ~target)
+               end);
               let nbytes = Page.merge_into ~twin ~local ~target in
               incr merged;
               merged_bytes := !merged_bytes + nbytes;
@@ -223,6 +252,7 @@ let commit t =
         pages_merged = !merged;
         bytes_merged = !merged_bytes;
         committed_pages = dirty;
+        conflicts = List.rev !conflicts;
       }
 
 let update t =

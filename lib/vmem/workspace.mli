@@ -28,12 +28,29 @@
 
 type t
 
+type conflict = {
+  cpage : int;  (** page index *)
+  first_byte : int;  (** page-relative, inclusive *)
+  last_byte : int;  (** page-relative, inclusive *)
+  loser_tid : int;  (** committer whose bytes the merge overwrote *)
+  loser_version : int;  (** the version those bytes were committed as *)
+}
+(** One run of bytes the last-writer-wins merge resolved against a
+    concurrent committer: both this workspace's thread and some
+    intervening commit changed every byte in the run since the twin was
+    taken.  The loser is attributed to the newest version that modified
+    the page in the conflict window (exact when one concurrent writer
+    touched the page, the most recent writer otherwise). *)
+
 type commit_info = {
   version : int;  (** new version number, or the old one if nothing was dirty *)
   pages_committed : int;
   pages_merged : int;  (** pages that hit a concurrent writer and needed a byte merge *)
   bytes_merged : int;
   committed_pages : int list;  (** indices of the committed pages, ascending *)
+  conflicts : conflict list;
+      (** byte-exact conflict tuples, ascending by (page, first_byte);
+          always [[]] unless {!set_track_conflicts} enabled capture *)
 }
 
 type update_info = {
@@ -77,6 +94,15 @@ val write_int : t -> addr:int -> int -> unit
 
 val is_dirty : t -> bool
 val dirty_count : t -> int
+
+val set_track_conflicts : t -> bool -> unit
+(** Enable (or disable) conflict capture at commit time.  Off by default:
+    the capture adds one extra three-way page scan per merged page, so
+    runs that attach no observer pay nothing.  Capture never changes the
+    merge result, the counters, or any simulated cost — it only fills
+    [commit_info.conflicts]. *)
+
+val track_conflicts : t -> bool
 
 val resident_pages : t -> int
 (** Local page copies currently held — the workspace-side contribution to

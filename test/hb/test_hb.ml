@@ -52,6 +52,60 @@ let prop_vc_join_commutative =
       Vc.equal (Vc.join a b) (Vc.join b a) && Vc.equal (Vc.join a a) a)
 
 (* ------------------------------------------------------------------ *)
+(* Race detector: epoch shortcut vs full-vector oracle                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_race_epoch_agrees_with_oracle =
+  (* Random synchronization streams over 4 threads and 3 objects, with
+     conflicts stamped near the loser's current release count (some
+     beyond it, i.e. unpublished): the O(1) epoch verdict must match the
+     full-vector release-history scan on every finding. *)
+  let op =
+    QCheck.(
+      oneof
+        [
+          map (fun (t, o) -> `Rel (t, o)) (pair (int_bound 3) (int_bound 2));
+          map (fun (t, o) -> `Acq (t, o)) (pair (int_bound 3) (int_bound 2));
+          map
+            (fun (w, (l, off)) -> `Confl (w, l, off))
+            (pair (int_bound 3) (pair (int_bound 3) (int_range (-2) 2)));
+        ])
+  in
+  let stream = QCheck.(list_of_size (QCheck.Gen.int_range 0 40) op) in
+  QCheck.Test.make ~name:"race: epoch verdicts agree with full-vector oracle" ~count:500 stream
+    (fun ops ->
+      let released = Array.make 4 0 in
+      let events =
+        List.filter_map
+          (function
+            | `Rel (t, o) ->
+                released.(t) <- released.(t) + 1;
+                Some (Ev.Release { tid = t; obj = "m:" ^ string_of_int o })
+            | `Acq (t, o) -> Some (Ev.Acquire { tid = t; obj = "m:" ^ string_of_int o })
+            | `Confl (w, l, off) ->
+                if w = l then None
+                else
+                  Some
+                    (Ev.Conflict
+                       {
+                         tid = w;
+                         version = 0;
+                         page = 0;
+                         first_byte = 0;
+                         last_byte = 7;
+                         loser_tid = l;
+                         loser_version = max 1 (released.(l) + off);
+                       }))
+          ops
+      in
+      let verdicts mode =
+        let det = Race.Detector.create ~mode () in
+        List.iter (Race.Detector.observer det) events;
+        List.map (fun f -> f.Race.Detector.verdict) (Race.Detector.findings det)
+      in
+      verdicts Race.Detector.Epoch = verdicts Race.Detector.Full_vector)
+
+(* ------------------------------------------------------------------ *)
 (* Lrc tracker on hand-built event sequences                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -176,6 +230,7 @@ let () =
           Alcotest.test_case "join" `Quick test_vc_join;
           Alcotest.test_case "leq" `Quick test_vc_leq;
           QCheck_alcotest.to_alcotest prop_vc_join_commutative;
+          QCheck_alcotest.to_alcotest prop_race_epoch_agrees_with_oracle;
         ] );
       ( "lrc-tracker",
         [
