@@ -22,7 +22,7 @@ let full_threads = [ 2; 4; 8; 16; 32 ]
 let section_names =
   [
     "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "determinism"; "tso";
-    "races"; "climit"; "soundness"; "locking"; "chunking"; "micro"; "sched";
+    "races"; "climit"; "soundness"; "locking"; "chunking"; "micro"; "sched"; "replay";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -225,6 +225,55 @@ let sched_tests () =
   [ token_cycle; token_handoff; gmic_at 2; gmic_at 8; gmic_at 32; gmic_at 64; heap_typed ]
 
 (* ------------------------------------------------------------------ *)
+(* Record/replay microbenchmarks                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Single thread, 1000 lock/write/unlock rounds: every round is a sync
+   op, so the run commits at depth 1000 — the worst case for per-commit
+   recording (Commit + Commit_hash per round).  Comparing the untracked
+   and recording runs isolates the observer cost; the scripted replay
+   adds the checker walk on top. *)
+let depth1000_commit =
+  Api.make ~name:"micro-replay" ~heap_pages:16 ~page_size:64 (fun ~nthreads:_ ops ->
+      let w =
+        ops.Api.spawn (fun w ->
+            for _ = 1 to 1000 do
+              w.Api.work 200;
+              w.Api.lock 1;
+              w.Api.write_int ~addr:0 (w.Api.read_int ~addr:0 + 1);
+              w.Api.unlock 1
+            done)
+      in
+      ops.Api.join w)
+
+let replay_tests () =
+  let open Bechamel in
+  let bare =
+    Test.make ~name:"replay: depth-1000 commit run (untracked)"
+      (Staged.stage (fun () ->
+           ignore
+             (Runtime.Det_rt.run Runtime.Config.consequence_ic ~seed:1 ~nthreads:1
+                depth1000_commit)))
+  in
+  let recording =
+    Test.make ~name:"replay: depth-1000 commit run (recording)"
+      (Staged.stage (fun () ->
+           ignore
+             (Replay.Schedule.record Runtime.Run.consequence_ic ~seed:1 ~nthreads:1
+                depth1000_commit)))
+  in
+  let replaying =
+    Test.make ~name:"replay: depth-1000 commit replay (checked)"
+      (Staged.stage
+         (let log, _ =
+            Replay.Schedule.record Runtime.Run.consequence_ic ~seed:1 ~nthreads:1
+              depth1000_commit
+          in
+          fun () -> ignore (Replay.Replayer.replay log depth1000_commit)))
+  in
+  [ bare; recording; replaying ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver shared by the micro and sched sections             *)
 (* ------------------------------------------------------------------ *)
 
@@ -295,6 +344,13 @@ let run_section ~threads name =
     | "chunking" -> fig (fun () -> Figures.Chunking_study.run ())
     | "micro" -> run_micro ()
     | "sched" -> run_sched ()
+    | "replay" ->
+        let figure = fig (fun () -> Figures.Replay_report.run ()) in
+        let micro =
+          run_bechamel ~id:"replay-micro"
+            ~title:"record overhead on the depth-1000 commit microbench" (replay_tests ())
+        in
+        Obs.Json.Obj [ ("figure", figure); ("micro", micro) ]
     | other ->
         Printf.eprintf "unknown section %S; available: %s\n" other
           (String.concat " " section_names);

@@ -9,7 +9,10 @@
      check     determinism self-check for one benchmark across seeds
      schedule  print the deterministic global synchronization schedule
      stress    fuzz determinism with seeded random programs
-     races     race-audit one benchmark, or sweep the whole suite *)
+     races     race-audit one benchmark, or sweep the whole suite
+     record    record a schedule log (<name>.schedule.json)
+     replay    replay a schedule log with divergence detection
+     explore   perturb a recorded schedule and cross-check the variants *)
 
 open Cmdliner
 
@@ -352,6 +355,96 @@ let races_cmd =
       const action $ runtime_arg $ threads_arg $ seed_arg $ name_arg $ full_vector_arg
       $ json_arg $ out_arg $ jobs_arg)
 
+(* --- record / replay / explore ---------------------------------------- *)
+
+let record_cmd =
+  let action runtime threads seed name out =
+    match find_program name with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok program ->
+        let log, res = Replay.Schedule.record runtime ~seed ~nthreads:threads program in
+        let out = Option.value out ~default:(name ^ ".schedule.json") in
+        (try Replay.Schedule.save log out
+         with Sys_error e ->
+           prerr_endline e;
+           exit 1);
+        Format.printf "%a@." Replay.Schedule.pp_meta log;
+        Printf.printf "schedule -> %s (%d events, wall %d ns)\n" out
+          (Replay.Schedule.length log) res.Stats.Run_result.wall_ns
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output file for the schedule log (default <benchmark>.schedule.json).")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Record a run's deterministic decisions (chunk boundaries, commit order and \
+          hashes) into a schedule log.  On pthreads this pins one seeded interleaving.")
+    Term.(const action $ runtime_arg $ threads_arg $ seed_arg $ benchmark_arg $ out_arg)
+
+let schedule_file_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"SCHEDULE" ~doc:"Schedule log recorded by the record subcommand.")
+
+let load_log_and_program file =
+  match Replay.Schedule.load file with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" file e;
+      exit 1
+  | Ok log -> (
+      match find_program log.Replay.Schedule.meta.Replay.Schedule.program with
+      | Error e ->
+          prerr_endline e;
+          exit 1
+      | Ok program -> (log, program))
+
+let replay_cmd =
+  let action file =
+    let log, program = load_log_and_program file in
+    Format.printf "%a@." Replay.Schedule.pp_meta log;
+    let o = Replay.Replayer.replay log program in
+    Format.printf "%a@." Replay.Replayer.pp_outcome o;
+    if not (Replay.Replayer.ok o) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a recorded schedule (scripted chunk boundaries on the deterministic \
+          runtimes, pinned seed on pthreads), checking every event and the final \
+          witnesses; the first divergence is localized to thread + chunk.")
+    Term.(const action $ schedule_file_arg)
+
+let explore_cmd =
+  let action file variants seed json =
+    let log, program = load_log_and_program file in
+    let r = Replay.Explore.explore ~variants ~seed log program in
+    if json then print_endline (Obs.Json.to_string (Replay.Explore.to_json r))
+    else Format.printf "%a@." Replay.Explore.pp_report r;
+    if not (r.Replay.Explore.deterministic && r.Replay.Explore.conflicts_stable) then exit 1
+  in
+  let variants_arg =
+    Arg.(value & opt int 12 & info [ "n"; "variants" ] ~doc:"Perturbed schedules to run.")
+  in
+  let explore_seed_arg =
+    Arg.(value & opt int 7 & info [ "s"; "seed" ] ~doc:"Perturbation PRNG seed.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the exploration report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Bounded schedule exploration: split/merge/shift the recorded chunk boundaries, \
+          replay each variant, and cross-check that witnesses and race verdicts are \
+          invariant while timings move.")
+    Term.(const action $ schedule_file_arg $ variants_arg $ explore_seed_arg $ json_arg)
+
 (* --- check ------------------------------------------------------------ *)
 
 let check_cmd =
@@ -400,4 +493,7 @@ let () =
             schedule_cmd;
             stress_cmd;
             races_cmd;
+            record_cmd;
+            replay_cmd;
+            explore_cmd;
           ]))

@@ -24,6 +24,16 @@ type kind =
       (** doubling backoff is bounded by [cap]: the longest a waiter can
           go unnotified is one capped interval *)
   | Fixed of int
+  | Scripted of int array
+      (** forced boundaries for schedule replay (lib/replay): the
+          ascending retired-instruction counts at which this thread's
+          counter must overflow, exactly as a recorded run published
+          them.  Boundaries already passed (a chunk-end counter read
+          published at or beyond them) are skipped; once the script is
+          exhausted the thread publishes only at sync ops.  Like the
+          adaptive rules this affects real time only, never determinism —
+          which is also why a {e perturbed} script is a legal schedule to
+          explore.  Must be strictly ascending and positive. *)
 
 type t
 
@@ -41,13 +51,16 @@ val kind : t -> kind
 val begin_chunk : t -> unit
 (** Reset per-chunk state (rule 1). *)
 
-val next_interval : t -> waiter_gap:int -> int
+val next_interval : ?ic:int -> t -> waiter_gap:int -> int
 (** Instructions until the next overflow should fire.  [waiter_gap] is
     the distance to the next-lowest waiting thread's clock (from
     {!Logical_clock.next_waiting_gap}), when we are the GMIC and somebody
     waits on us: rule 2 targets the overflow exactly there.  A
     non-positive gap (0 = nobody relevant is waiting) applies rule 3
-    (doubling).  Always returns a value >= 1. *)
+    (doubling).  [ic] (default 0) is the calling thread's current
+    retired-instruction count; only [Scripted] policies read it, to place
+    the next overflow at the next recorded boundary.  Always returns a
+    value >= 1. *)
 
 val overflows_scheduled : t -> int
 (** Total intervals handed out; a proxy for interrupt overhead. *)

@@ -106,6 +106,9 @@ let observer t (ev : Runtime.Rt_event.t) =
         Hashtbl.replace t.thread_vc tid new_vc
       end
   | Runtime.Rt_event.Conflict _ -> ()
+  | Runtime.Rt_event.Boundary _ | Runtime.Rt_event.Commit_hash _ ->
+      (* Scheduling/replay bookkeeping carries no propagation edges. *)
+      ()
 
 let lrc_pages t = t.lrc_pages
 let acquires t = t.acquires

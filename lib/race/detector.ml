@@ -75,9 +75,16 @@ let released_count t tid =
   match Hashtbl.find_opt t.released_count tid with Some n -> n | None -> 0
 
 let observer t ev =
+  match ev with
+  | Ev.Boundary _ | Ev.Commit_hash _ ->
+      (* Scheduling/replay bookkeeping, not happens-before edges: keep
+         the detector's event accounting identical to pre-replay runs. *)
+      ()
+  | Ev.Release _ | Ev.Acquire _ | Ev.Commit _ | Ev.Conflict _ -> (
   t.n_events <- t.n_events + 1;
   Obs.Metrics.count t.m_events 1;
   match ev with
+  | Ev.Boundary _ | Ev.Commit_hash _ -> ()
   | Ev.Release { tid; obj } ->
       let c = thread_vc t tid in
       if t.dmode = Full_vector then begin
@@ -132,7 +139,7 @@ let observer t ev =
       in
       t.findings_rev <-
         { event = ev; verdict; winner_clock = cw; via = Hashtbl.find_opt t.last_acq w }
-        :: t.findings_rev
+        :: t.findings_rev)
 
 let findings t = List.rev t.findings_rev
 let events t = t.n_events

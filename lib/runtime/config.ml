@@ -2,6 +2,7 @@ type ordering = Round_robin | Instruction_count
 type commit_style = Synchronous | Asynchronous
 type lock_granularity = Single_global | Per_lock
 type coarsening = No_coarsening | Static of int | Adaptive
+type scheduling = Emergent | Scripted of int array array
 
 type t = {
   name : string;
@@ -24,6 +25,7 @@ type t = {
   coarsen_max_floor : int;
   coarsen_max_cap : int;
   ewma_alpha : float;
+  scheduling : scheduling;
 }
 
 let base =
@@ -48,6 +50,7 @@ let base =
     coarsen_max_floor = 10_000;
     coarsen_max_cap = 2_000_000;
     ewma_alpha = 0.3;
+    scheduling = Emergent;
   }
 
 let consequence_ic = { base with name = "consequence-ic" }
@@ -103,3 +106,8 @@ let with_chunk_limit t n = { t with name = Printf.sprintf "%s-climit%d" t.name n
 let with_polling_locks t ~increment =
   { t with name = Printf.sprintf "%s-poll%d" t.name increment; polling_locks = Some increment }
 let with_counter_jitter t ~ppm = { t with name = t.name ^ "-cjitter"; counter_jitter_ppm = ppm }
+
+let with_scripted_schedule t ~boundaries =
+  { t with name = t.name ^ "-replay"; scheduling = Scripted boundaries }
+
+let scripted t = match t.scheduling with Scripted _ -> true | Emergent -> false

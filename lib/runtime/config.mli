@@ -33,6 +33,18 @@ type coarsening =
   | Static of int  (** always coalesce exactly this many sync ops *)
   | Adaptive  (** EWMA estimates + multiplicative max adaptation (section 3.1) *)
 
+type scheduling =
+  | Emergent  (** boundaries fall out of the adaptive policies (normal runs) *)
+  | Scripted of int array array
+      (** replay mode (lib/replay): element [tid] lists the ascending
+          retired-instruction counts at which thread [tid]'s counter must
+          overflow, exactly as recorded by a {!Runtime.Rt_event.Boundary}
+          stream.  Threads beyond the array length run unscripted.
+          Scripting replaces the adaptive overflow policy's {e decisions}
+          with their recorded outcomes; since overflow placement never
+          affects determinism, a scripted run of the same program is
+          byte-identical to the recorded one. *)
+
 type t = {
   name : string;
   ordering : ordering;
@@ -68,6 +80,7 @@ type t = {
   coarsen_max_floor : int;
   coarsen_max_cap : int;
   ewma_alpha : float;  (** weight of the newest sample in chunk estimates *)
+  scheduling : scheduling;
 }
 
 val dthreads : t
@@ -89,3 +102,9 @@ val without_thread_pool : t -> t
 val with_chunk_limit : t -> int -> t
 val with_polling_locks : t -> increment:int -> t
 val with_counter_jitter : t -> ppm:int -> t
+
+val with_scripted_schedule : t -> boundaries:int array array -> t
+(** Replay a recorded schedule: force per-thread chunk boundaries at the
+    given retired-instruction counts (see {!scheduling}). *)
+
+val scripted : t -> bool

@@ -360,8 +360,16 @@ let jittered_increment rt th n =
     max 0 (n + delta)
   end
 
-let publish rt th =
+(* Every publication point is a chunk-boundary decision: replaying the
+   overflow ones (lib/replay) pins the whole schedule, since chunk-end
+   publications are placed by the program's own sync ops.  The event goes
+   to the observer only — it is scheduling bookkeeping, not a sync edge,
+   and would drown the trace timeline in instants. *)
+let publish rt th ~overflow =
   if th.unpublished > 0 then begin
+    (match rt.observer with
+    | Some f -> f (Rt_event.Boundary { tid = th.tid; ic = th.instr_retired; overflow })
+    | None -> ());
     Lc.tick th.clock (jittered_increment rt th th.unpublished);
     th.unpublished <- 0;
     Tok.poke rt.token
@@ -375,7 +383,7 @@ let counter_read rt th =
     else rt.costs.Cost_model.counter_read_syscall_ns
   in
   charge rt th Bd.Library cost;
-  publish rt th
+  publish rt th ~overflow:false
 
 (* ------------------------------------------------------------------ *)
 (* Commit / update with cost charging                                 *)
@@ -443,6 +451,23 @@ let stamp_commit rt th (ci : Vmem.Workspace.commit_info) =
     th.chunk_epoch <- th.race_epoch
   end
 
+(* Digest the pages a commit just installed, read back at the committed
+   version.  The replay divergence detector compares these step-by-step:
+   a schedule that reproduces event order but corrupts data is caught at
+   the first differing commit, not at the final workspace hash. *)
+let commit_digest rt (ci : Vmem.Workspace.commit_info) =
+  let h =
+    List.fold_left
+      (fun h p -> Sim.Fnv.bytes (Sim.Fnv.int h p) (Vmem.Segment.read_page rt.seg ~version:ci.version p))
+      Sim.Fnv.init ci.committed_pages
+  in
+  Sim.Fnv.to_hex h
+
+let emit_commit_hash rt th (ci : Vmem.Workspace.commit_info) =
+  if emitting rt then
+    emit rt
+      (Rt_event.Commit_hash { tid = th.tid; version = ci.version; hash = commit_digest rt ci })
+
 let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
   if ci.pages_committed > 0 then begin
     let t0 = Sim.Engine.now rt.eng in
@@ -463,7 +488,10 @@ let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
         ();
     record_sync rt th ~op:rt.mh.mh_op_commit ("commit:" ^ string_of_int ci.version);
     emit_conflicts rt th ci;
-    if emitting rt then emit rt (Rt_event.Commit { tid = th.tid; version = ci.version; pages = ci.committed_pages })
+    if emitting rt then begin
+      emit rt (Rt_event.Commit { tid = th.tid; version = ci.version; pages = ci.committed_pages });
+      emit_commit_hash rt th ci
+    end
   end
 
 let charge_update rt th (ui : Vmem.Workspace.update_info) =
@@ -601,9 +629,12 @@ let observe_chunk rt th =
   let chunk_len = th.instr_retired - th.chunk_start_instr in
   Obs.Metrics.record rt.mh.mh_chunk_instr chunk_len;
   if chunk_len > 0 && tracing rt then
-    span rt ~cat:Obs.Span.Chunk ~name:"chunk" ~tid:th.tid ~t0:th.chunk_open_ns
-      ~args:[ ("instr", chunk_len) ]
-      ()
+    (* Perfetto-visible distinction between live chunks and chunks whose
+       boundaries were forced by a replayed schedule. *)
+    let args =
+      ("instr", chunk_len) :: (if Config.scripted rt.cfg then [ ("replayed", 1) ] else [])
+    in
+    span rt ~cat:Obs.Span.Chunk ~name:"chunk" ~tid:th.tid ~t0:th.chunk_open_ns ~args ()
 
 let close_chunk rt th =
   let chunk_len = th.instr_retired - th.chunk_start_instr in
@@ -721,7 +752,7 @@ let rec consume rt th n =
            Lc.next_waiting_gap rt.clocks ~tid:th.tid
          else 0
        in
-       th.next_overflow_in <- Ofp.next_interval th.ofp ~waiter_gap:gap);
+       th.next_overflow_in <- Ofp.next_interval ~ic:th.instr_retired th.ofp ~waiter_gap:gap);
     let step = min n th.next_overflow_in in
     charge rt th Bd.Chunk (Cost_model.work_ns rt.costs th.prng step);
     th.instr_retired <- th.instr_retired + step;
@@ -734,7 +765,7 @@ let rec consume rt th n =
          so no syscall cost is charged on top of the interrupt itself. *)
       rt.overflow_interrupts <- rt.overflow_interrupts + 1;
       charge rt th Bd.Library rt.costs.Cost_model.overflow_interrupt_ns;
-      publish rt th
+      publish rt th ~overflow:true
     end;
     (* Ad-hoc synchronization support (section 2.7): bound the number of
        instructions a chunk may retire before a forced commit+update. *)
@@ -1034,14 +1065,16 @@ let barrier_wait rt th bid =
            ();
        record_sync rt th ~op:rt.mh.mh_op_commit ("commit:" ^ string_of_int ci.Vmem.Workspace.version);
        emit_conflicts rt th ci;
-       if emitting rt then
+       if emitting rt then begin
          emit rt
            (Rt_event.Commit
               {
                 tid = th.tid;
                 version = ci.Vmem.Workspace.version;
                 pages = ci.Vmem.Workspace.committed_pages;
-              })
+              });
+         emit_commit_hash rt th ci
+       end
      end;
      phase2_pages :=
        (ci.Vmem.Workspace.pages_committed * c.Cost_model.page_commit_ns)
@@ -1186,9 +1219,12 @@ and new_thread_state rt ~tid ~name ~inherit_count =
   let clock = Lc.register rt.clocks ~tid in
   if inherit_count > 0 then ignore (Lc.fast_forward clock ~to_count:inherit_count);
   let ofp_kind =
-    if rt.cfg.adaptive_overflow then
-      Ofp.Adaptive { base = Ofp.default_base; cap = Ofp.default_cap }
-    else Ofp.Fixed Ofp.default_base
+    match rt.cfg.scheduling with
+    | Config.Scripted bounds when tid < Array.length bounds -> Ofp.Scripted bounds.(tid)
+    | Config.Scripted _ | Config.Emergent ->
+        if rt.cfg.adaptive_overflow then
+          Ofp.Adaptive { base = Ofp.default_base; cap = Ofp.default_cap }
+        else Ofp.Fixed Ofp.default_base
   in
   let ws = Vmem.Workspace.create rt.seg ~tid in
   (* Conflict capture only feeds the event stream: pay the extra merge

@@ -11,6 +11,8 @@ type t =
       loser_tid : int;
       loser_version : int;
     }
+  | Boundary of { tid : int; ic : int; overflow : bool }
+  | Commit_hash of { tid : int; version : int; hash : string }
 
 type observer = t -> unit
 
@@ -25,9 +27,18 @@ let label = function
   | Acquire { obj; _ } -> "acq:" ^ obj
   | Conflict { page; first_byte; last_byte; _ } ->
       Printf.sprintf "conflict:p%d+%d..%d" page first_byte last_byte
+  | Boundary { ic; overflow; _ } ->
+      Printf.sprintf "%s:%d" (if overflow then "overflow" else "chunk-end") ic
+  | Commit_hash { version; _ } -> Printf.sprintf "hash:v%d" version
 
 let tid = function
-  | Commit { tid; _ } | Release { tid; _ } | Acquire { tid; _ } | Conflict { tid; _ } -> tid
+  | Commit { tid; _ }
+  | Release { tid; _ }
+  | Acquire { tid; _ }
+  | Conflict { tid; _ }
+  | Boundary { tid; _ }
+  | Commit_hash { tid; _ } ->
+      tid
 
 let pp ppf ev =
   match ev with
@@ -39,6 +50,9 @@ let pp ppf ev =
   | Conflict { tid; version; page; first_byte; last_byte; loser_tid; loser_version } ->
       Format.fprintf ppf "@[conflict t%d v%d p%d[%d..%d] over t%d v%d@]" tid version page
         first_byte last_byte loser_tid loser_version
+  | Boundary { tid; ic; overflow } ->
+      Format.fprintf ppf "%s t%d ic=%d" (if overflow then "overflow" else "chunk-end") tid ic
+  | Commit_hash { tid; version; hash } -> Format.fprintf ppf "hash t%d v%d %s" tid version hash
 
 let to_json ev : Obs.Json.t =
   let open Obs.Json in
@@ -67,3 +81,82 @@ let to_json ev : Obs.Json.t =
           ("loser_tid", Int loser_tid);
           ("loser_version", Int loser_version);
         ]
+  | Boundary { tid; ic; overflow } ->
+      Obj
+        [
+          ("kind", String "boundary");
+          ("tid", Int tid);
+          ("ic", Int ic);
+          ("overflow", Bool overflow);
+        ]
+  | Commit_hash { tid; version; hash } ->
+      Obj
+        [
+          ("kind", String "commit_hash");
+          ("tid", Int tid);
+          ("version", Int version);
+          ("hash", String hash);
+        ]
+
+(* Inverse of [to_json]; the schedule logs of [lib/replay] round-trip
+   through exactly the schema the trace exporters emit. *)
+let of_json (j : Obs.Json.t) : (t, string) result =
+  let open Obs.Json in
+  let field name conv =
+    match member name j with
+    | Some v -> (
+        match conv v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "rt_event: field %S has the wrong type" name))
+    | None -> Error (Printf.sprintf "rt_event: missing field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let int name = field name to_int_opt in
+  let str name = field name to_string_opt in
+  let bool name = field name (function Bool b -> Some b | _ -> None) in
+  let* kind = str "kind" in
+  match kind with
+  | "commit" ->
+      let* tid = int "tid" in
+      let* version = int "version" in
+      let* pages =
+        field "pages" (fun v ->
+            match to_list_opt v with
+            | Some items ->
+                let rec conv acc = function
+                  | [] -> Some (List.rev acc)
+                  | x :: rest -> (
+                      match to_int_opt x with Some i -> conv (i :: acc) rest | None -> None)
+                in
+                conv [] items
+            | None -> None)
+      in
+      Ok (Commit { tid; version; pages })
+  | "release" ->
+      let* tid = int "tid" in
+      let* obj = str "obj" in
+      Ok (Release { tid; obj })
+  | "acquire" ->
+      let* tid = int "tid" in
+      let* obj = str "obj" in
+      Ok (Acquire { tid; obj })
+  | "conflict" ->
+      let* tid = int "tid" in
+      let* version = int "version" in
+      let* page = int "page" in
+      let* first_byte = int "first_byte" in
+      let* last_byte = int "last_byte" in
+      let* loser_tid = int "loser_tid" in
+      let* loser_version = int "loser_version" in
+      Ok (Conflict { tid; version; page; first_byte; last_byte; loser_tid; loser_version })
+  | "boundary" ->
+      let* tid = int "tid" in
+      let* ic = int "ic" in
+      let* overflow = bool "overflow" in
+      Ok (Boundary { tid; ic; overflow })
+  | "commit_hash" ->
+      let* tid = int "tid" in
+      let* version = int "version" in
+      let* hash = str "hash" in
+      Ok (Commit_hash { tid; version; hash })
+  | other -> Error (Printf.sprintf "rt_event: unknown kind %S" other)

@@ -38,6 +38,24 @@ type t =
       (** one byte run the last-writer-wins merge silently resolved
           (paper section 2.5); emitted just before the winner's
           [Commit] under the deterministic runtimes *)
+  | Boundary of { tid : int; ic : int; overflow : bool }
+      (** the thread published its retired-instruction counter: [ic] is
+          the thread's retired count at the publication point, and
+          [overflow] distinguishes a simulated counter-overflow interrupt
+          (an [lib/replay] schedule can force these boundaries) from an
+          end-of-chunk counter read at a sync op (program-determined).
+          Unlike the four synchronization events above, boundaries are
+          emitted mid-chunk, outside the token, so their interleaving
+          across threads follows deterministic simulation order rather
+          than the global token order.  Only the deterministic runtimes
+          emit them, and only to an [observer] (never as trace
+          instants). *)
+  | Commit_hash of { tid : int; version : int; hash : string }
+      (** content digest (FNV-1a over the committed page snapshots) of
+          the workspace state a [Commit] just published; emitted
+          immediately after its [Commit] so a replay can cross-check
+          {e values}, not just schedule shape.  Observer-only, like
+          [Boundary]. *)
 
 type observer = t -> unit
 
@@ -57,3 +75,7 @@ val pp : Format.formatter -> t -> unit
 
 val to_json : t -> Obs.Json.t
 (** Structured form for trace/bench emission. *)
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}: schedule logs serialize through the same
+    schema as traces.  [Error] names the missing or ill-typed field. *)
