@@ -23,6 +23,7 @@ let section_names =
   [
     "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "determinism"; "tso";
     "races"; "climit"; "soundness"; "locking"; "chunking"; "micro"; "sched"; "replay";
+    "profile";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -315,6 +316,90 @@ let run_sched () =
   run_bechamel ~id:"sched" ~title:"Scheduler fast-path microbenchmarks" (sched_tests ())
 
 (* ------------------------------------------------------------------ *)
+(* Baseline comparison                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [--baseline DIR] compares each freshly written BENCH_<section>.json
+   against DIR/BENCH_<section>.json, leaf by numeric leaf.  The
+   comparison is strictly informational and tolerant by construction: a
+   missing, unreadable or unparseable baseline — the normal state of a
+   young trajectory — is reported as skipped, never as a failure, and no
+   amount of drift changes the exit code. *)
+
+let baseline_dir = ref None
+
+(* Flatten to (path, value) numeric leaves: "a.b[3].c" -> 4.2.  Table
+   cells serialize as strings, so numeric-looking strings (including
+   "1.210x" speedups) count too. *)
+let rec num_leaves prefix json acc =
+  match json with
+  | Obs.Json.Int i -> (prefix, float_of_int i) :: acc
+  | Obs.Json.Float f -> (prefix, f) :: acc
+  | Obs.Json.String s -> (
+      let s =
+        if String.length s > 1 && s.[String.length s - 1] = 'x' then
+          String.sub s 0 (String.length s - 1)
+        else s
+      in
+      match float_of_string_opt s with
+      | Some f -> (prefix, f) :: acc
+      | None -> acc)
+  | Obs.Json.Obj kvs ->
+      List.fold_left
+        (fun acc (k, v) ->
+          num_leaves (if prefix = "" then k else prefix ^ "." ^ k) v acc)
+        acc kvs
+  | Obs.Json.List l ->
+      List.fold_left
+        (fun (i, acc) v -> (i + 1, num_leaves (Printf.sprintf "%s[%d]" prefix i) v acc))
+        (0, acc) l
+      |> snd
+  | _ -> acc
+
+let compare_with_baseline ~dir section fresh =
+  let file = Filename.concat dir (Printf.sprintf "BENCH_%s.json" section) in
+  let contents =
+    try
+      let ic = open_in_bin file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+    with Sys_error _ | End_of_file -> None
+  in
+  match contents with
+  | None -> Printf.printf "[%s: no baseline at %s (skipped)]\n" section file
+  | Some s -> (
+      match Obs.Json.parse s with
+      | Error e -> Printf.printf "[%s: unparseable baseline %s: %s (skipped)]\n" section file e
+      | Ok old ->
+          let old_leaves = num_leaves "" old [] in
+          let fresh_leaves = num_leaves "" fresh [] in
+          let old_tbl = Hashtbl.create (List.length old_leaves) in
+          List.iter (fun (p, v) -> Hashtbl.replace old_tbl p v) old_leaves;
+          let compared = ref 0 and drifted = ref [] in
+          List.iter
+            (fun (p, v) ->
+              match Hashtbl.find_opt old_tbl p with
+              | None -> ()
+              | Some v0 ->
+                  incr compared;
+                  let denom = Float.max (Float.abs v0) 1e-9 in
+                  let rel = Float.abs (v -. v0) /. denom in
+                  if rel > 0.05 then drifted := (p, v0, v, rel) :: !drifted)
+            fresh_leaves;
+          let drifted =
+            List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) !drifted
+          in
+          Printf.printf "[%s: %d numeric leaves vs baseline, %d drifted >5%%]\n" section
+            !compared (List.length drifted);
+          List.iteri
+            (fun i (p, v0, v, rel) ->
+              if i < 5 then
+                Printf.printf "    %s: %g -> %g (%+.1f%%)\n" p v0 v (100.0 *. rel))
+            drifted)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -351,6 +436,7 @@ let run_section ~threads name =
             ~title:"record overhead on the depth-1000 commit microbench" (replay_tests ())
         in
         Obs.Json.Obj [ ("figure", figure); ("micro", micro) ]
+    | "profile" -> fig (fun () -> Figures.Profile_report.run ())
     | other ->
         Printf.eprintf "unknown section %S; available: %s\n" other
           (String.concat " " section_names);
@@ -358,11 +444,14 @@ let run_section ~threads name =
   in
   let file = Printf.sprintf "BENCH_%s.json" name in
   Obs.Json.to_file file json;
-  Printf.printf "[%s -> %s]\n" name file
+  Printf.printf "[%s -> %s]\n" name file;
+  match !baseline_dir with
+  | Some dir -> compare_with_baseline ~dir name json
+  | None -> ()
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [-j N] [--quick|full] [all|%s ...]\n"
+    "usage: main.exe [-j N] [--baseline DIR] [--quick|full] [all|%s ...]\n"
     (String.concat "|" section_names);
   exit 2
 
@@ -378,6 +467,10 @@ let () =
             parse acc rest
         | _ -> usage ())
     | [ "-j" ] -> usage ()
+    | "--baseline" :: dir :: rest ->
+        baseline_dir := Some dir;
+        parse acc rest
+    | [ "--baseline" ] -> usage ()
     | arg :: rest
       when String.length arg > 2 && String.sub arg 0 2 = "-j"
            && int_of_string_opt (String.sub arg 2 (String.length arg - 2)) <> None ->

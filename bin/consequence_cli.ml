@@ -3,6 +3,7 @@
    Subcommands:
      run       execute one benchmark under one runtime and print metrics
      trace     execute one benchmark and export a Chrome trace-event JSON
+     profile   determinism profile: state attribution, critical path, what-if
      bench     list the benchmark suite
      litmus    run a litmus test against the TSO/SC models
      lrc       run the Fig 16 memory-propagation study on one benchmark
@@ -160,6 +161,137 @@ let trace_cmd =
     Term.(
       const action $ runtime_arg $ threads_arg $ seed_arg $ benchmark_arg $ out_arg
       $ metrics_out_arg)
+
+(* --- profile ---------------------------------------------------------- *)
+
+let profile_cmd =
+  let sweep runtime threads seed =
+    (* No benchmark named: compact one-line profile of every registry
+       workload, failing on any conservation violation. *)
+    let bad = ref 0 in
+    Printf.printf "%-18s %12s %7s %7s %7s %7s  %s\n" "benchmark" "wall-ns" "run-%"
+      "token-%" "commit-%" "path-%" "conserved";
+    List.iter
+      (fun name ->
+        let program = (Workload.Registry.find name).Workload.Registry.program in
+        let r = Prof.Report.run ~runtime ~seed ~nthreads:threads program in
+        let p = r.Prof.Report.profile in
+        let total = max 1 (Array.fold_left ( + ) 0 p.Prof.Profile.totals) in
+        let pct st =
+          100.0
+          *. float_of_int p.Prof.Profile.totals.(Obs.Thread_state.index st)
+          /. float_of_int total
+        in
+        let ok = Prof.Report.conservation_ok r in
+        if not ok then incr bad;
+        Printf.printf "%-18s %12d %7.1f %7.1f %7.1f %7.1f  %s\n" name
+          p.Prof.Profile.wall_ns
+          (pct Obs.Thread_state.Run)
+          (pct Obs.Thread_state.Token_wait)
+          (pct Obs.Thread_state.Commit)
+          (100.0
+          *. float_of_int r.Prof.Report.cpath.Prof.Critical_path.path_ns
+          /. float_of_int (max 1 r.Prof.Report.cpath.Prof.Critical_path.wall_ns))
+          (if ok then "ok" else "VIOLATED"))
+      Workload.Registry.names;
+    if !bad > 0 then begin
+      Printf.eprintf "%d benchmark(s) violated state conservation\n" !bad;
+      exit 1
+    end
+  in
+  let action runtime threads seed name json out perfetto whatif =
+    match name with
+    | None ->
+        if json || out <> None || perfetto <> None || whatif then begin
+          prerr_endline
+            "--json/-o/--perfetto/--whatif require a BENCHMARK argument (the sweep prints \
+             compact summaries only)";
+          exit 1
+        end;
+        sweep runtime threads seed
+    | Some name -> (
+        match find_program name with
+        | Error e ->
+            prerr_endline e;
+            exit 1
+        | Ok program ->
+            let tracer = Obs.Tracer.create () in
+            let obs =
+              match perfetto with
+              | Some _ -> Obs.Tracer.sink tracer
+              | None -> Obs.Sink.null
+            in
+            let r = Prof.Report.run ~runtime ~seed ~nthreads:threads ~whatif ~obs program in
+            let doc = Obs.Json.to_string (Prof.Report.to_json r) in
+            (match out with
+            | Some file ->
+                let oc = open_out file in
+                output_string oc doc;
+                output_char oc '\n';
+                close_out oc;
+                Printf.printf "profile -> %s\n" file
+            | None -> ());
+            (match perfetto with
+            | Some file ->
+                let process_name =
+                  Printf.sprintf "%s / %s (%d threads, seed %d)" name
+                    (Runtime.Run.name runtime) threads seed
+                in
+                Obs.Chrome_trace.write_file ~process_name file tracer;
+                Printf.printf
+                  "perfetto trace (%d spans, %d state intervals as counter tracks) -> %s\n"
+                  (Obs.Tracer.span_count tracer)
+                  (Obs.Tracer.state_count tracer)
+                  file
+            | None -> ());
+            if json then print_endline doc
+            else if out = None then Format.printf "%a@." Prof.Report.pp r;
+            if not (Prof.Report.conservation_ok r) then begin
+              prerr_endline "state conservation VIOLATED";
+              exit 1
+            end)
+  in
+  let benchmark_opt_arg =
+    let doc =
+      "Benchmark to profile.  Without it, every registry benchmark is profiled and \
+       summarized in one line each."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the profile as one JSON document instead of text.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the profile JSON to $(docv).")
+  in
+  let perfetto_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "perfetto" ] ~docv:"FILE"
+          ~doc:
+            "Also capture the run's span timeline and per-thread state counter tracks as \
+             Chrome trace-event JSON in $(docv) (load in Perfetto).")
+  in
+  let whatif_arg =
+    Arg.(
+      value & flag
+      & info [ "whatif" ]
+          ~doc:
+            "Also record the schedule and replay it under perturbed cost models (2x faster \
+             merges, free token handoffs, ...) to measure projected speedups.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Determinism profile: per-thread state attribution, critical path, what-if \
+          projection.")
+    Term.(
+      const action $ runtime_arg $ threads_arg $ seed_arg $ benchmark_opt_arg $ json_arg
+      $ out_arg $ perfetto_arg $ whatif_arg)
 
 (* --- bench ------------------------------------------------------------ *)
 
@@ -486,6 +618,7 @@ let () =
           [
             run_cmd;
             trace_cmd;
+            profile_cmd;
             bench_cmd;
             litmus_cmd;
             lrc_cmd;

@@ -161,6 +161,7 @@ let hist_to_json h =
       ("p50", Json.Float (if h.count = 0 then 0.0 else percentile h 0.50));
       ("p95", Json.Float (if h.count = 0 then 0.0 else percentile h 0.95));
       ("p99", Json.Float (if h.count = 0 then 0.0 else percentile h 0.99));
+      ("p999", Json.Float (if h.count = 0 then 0.0 else percentile h 0.999));
       ( "buckets",
         Json.List
           (List.map (fun (le, n) -> Json.Obj [ ("le", Json.Int le); ("n", Json.Int n) ]) h.buckets)
@@ -184,9 +185,10 @@ let pp fmt s =
     Format.fprintf fmt "histograms:@,";
     List.iter
       (fun h ->
-        Format.fprintf fmt "  %-28s n=%-7d mean=%-12.1f p50=%-12.1f p95=%-12.1f p99=%-12.1f max=%d@,"
+        Format.fprintf fmt
+          "  %-28s n=%-7d mean=%-12.1f p50=%-12.1f p95=%-12.1f p99=%-12.1f p999=%-12.1f max=%d@,"
           h.hname h.count (mean h) (percentile h 0.50) (percentile h 0.95) (percentile h 0.99)
-          h.max_v)
+          (percentile h 0.999) h.max_v)
       s.hists
   end;
   Format.fprintf fmt "@]"

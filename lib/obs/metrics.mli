@@ -78,4 +78,5 @@ val counter_value : snapshot -> string -> int
 val to_json : snapshot -> Json.t
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable dump: counters, then one line per histogram with
-    count/mean/p50/p95/p99/max. *)
+    count/mean/p50/p95/p99/p999/max.  The same quantiles (plus p999)
+    appear in {!to_json}'s per-histogram objects. *)

@@ -1,6 +1,10 @@
-type t = { span : Span.t -> unit; instant : Span.instant -> unit }
+type t = {
+  span : Span.t -> unit;
+  instant : Span.instant -> unit;
+  state : Thread_state.interval -> unit;
+}
 
-let null = { span = (fun _ -> ()); instant = (fun _ -> ()) }
+let null = { span = (fun _ -> ()); instant = (fun _ -> ()); state = (fun _ -> ()) }
 let is_null t = t == null
 
 let tee a b =
@@ -13,4 +17,8 @@ let tee a b =
       (fun i ->
         a.instant i;
         b.instant i);
+    state =
+      (fun iv ->
+        a.state iv;
+        b.state iv);
   }

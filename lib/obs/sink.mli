@@ -3,15 +3,21 @@
     This generalizes the [Runtime.Rt_event.observer] callback: where the
     observer receives only the happens-before edges (commit / release /
     acquire), a sink additionally receives every timed span the runtime
-    produces.  Runtimes accept a sink as an optional argument and call it
-    synchronously, in deterministic (simulated-time) order; the default
-    {!null} sink makes instrumentation free when tracing is off.
+    produces, plus the exhaustive {!Thread_state} interval stream the
+    determinism profiler aggregates.  Runtimes accept a sink as an
+    optional argument and call it synchronously, in deterministic
+    (simulated-time) order; the default {!null} sink makes
+    instrumentation free when tracing is off.
 
     Sinks must be passive: a sink that mutates runtime or engine state
     would break the determinism-neutrality invariant that
-    [test_obs]/[test_runtime] enforce. *)
+    [test_obs]/[test_runtime]/[test_prof] enforce. *)
 
-type t = { span : Span.t -> unit; instant : Span.instant -> unit }
+type t = {
+  span : Span.t -> unit;
+  instant : Span.instant -> unit;
+  state : Thread_state.interval -> unit;
+}
 
 val null : t
 (** Drops everything.  Runtimes compare against this physically to skip

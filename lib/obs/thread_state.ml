@@ -1,0 +1,81 @@
+type t =
+  | Run
+  | Token_wait
+  | Lock_wait
+  | Barrier_wait
+  | Commit
+  | Update
+  | Fault
+  | Overflow
+  | Runtime
+  | Fork
+  | Gc
+
+let all =
+  [ Run; Token_wait; Lock_wait; Barrier_wait; Commit; Update; Fault; Overflow; Runtime; Fork; Gc ]
+
+let n = List.length all
+
+let index = function
+  | Run -> 0
+  | Token_wait -> 1
+  | Lock_wait -> 2
+  | Barrier_wait -> 3
+  | Commit -> 4
+  | Update -> 5
+  | Fault -> 6
+  | Overflow -> 7
+  | Runtime -> 8
+  | Fork -> 9
+  | Gc -> 10
+
+let of_index = function
+  | 0 -> Run
+  | 1 -> Token_wait
+  | 2 -> Lock_wait
+  | 3 -> Barrier_wait
+  | 4 -> Commit
+  | 5 -> Update
+  | 6 -> Fault
+  | 7 -> Overflow
+  | 8 -> Runtime
+  | 9 -> Fork
+  | 10 -> Gc
+  | i -> invalid_arg (Printf.sprintf "Thread_state.of_index %d" i)
+
+let name = function
+  | Run -> "run"
+  | Token_wait -> "token_wait"
+  | Lock_wait -> "lock_wait"
+  | Barrier_wait -> "barrier_wait"
+  | Commit -> "commit"
+  | Update -> "update"
+  | Fault -> "fault"
+  | Overflow -> "overflow"
+  | Runtime -> "runtime"
+  | Fork -> "fork"
+  | Gc -> "gc"
+
+let is_wait = function Token_wait | Lock_wait | Barrier_wait -> true | _ -> false
+
+type interval = {
+  stid : int;
+  state : t;
+  t0 : int;
+  t1 : int;
+  chunk : int;
+  waker : int;
+}
+
+let duration iv = iv.t1 - iv.t0
+
+let interval_to_json iv =
+  Json.Obj
+    [
+      ("tid", Json.Int iv.stid);
+      ("state", Json.String (name iv.state));
+      ("t0", Json.Int iv.t0);
+      ("t1", Json.Int iv.t1);
+      ("chunk", Json.Int iv.chunk);
+      ("waker", Json.Int iv.waker);
+    ]

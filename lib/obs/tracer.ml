@@ -1,11 +1,14 @@
 type t = {
   mutable spans_rev : Span.t list;
   mutable instants_rev : Span.instant list;
+  mutable states_rev : Thread_state.interval list;
   mutable nspans : int;
   mutable ninstants : int;
+  mutable nstates : int;
 }
 
-let create () = { spans_rev = []; instants_rev = []; nspans = 0; ninstants = 0 }
+let create () =
+  { spans_rev = []; instants_rev = []; states_rev = []; nspans = 0; ninstants = 0; nstates = 0 }
 
 let sink t =
   {
@@ -17,18 +20,26 @@ let sink t =
       (fun i ->
         t.instants_rev <- i :: t.instants_rev;
         t.ninstants <- t.ninstants + 1);
+    state =
+      (fun iv ->
+        t.states_rev <- iv :: t.states_rev;
+        t.nstates <- t.nstates + 1);
   }
 
 let spans t = List.rev t.spans_rev
 let instants t = List.rev t.instants_rev
+let states t = List.rev t.states_rev
 let span_count t = t.nspans
 let instant_count t = t.ninstants
+let state_count t = t.nstates
 
 let clear t =
   t.spans_rev <- [];
   t.instants_rev <- [];
+  t.states_rev <- [];
   t.nspans <- 0;
-  t.ninstants <- 0
+  t.ninstants <- 0;
+  t.nstates <- 0
 
 let tids t =
   let module S = Set.Make (Int) in
@@ -37,5 +48,10 @@ let tids t =
   in
   let s =
     List.fold_left (fun acc (i : Span.instant) -> S.add i.Span.itid acc) s t.instants_rev
+  in
+  let s =
+    List.fold_left
+      (fun acc (iv : Thread_state.interval) -> S.add iv.Thread_state.stid acc)
+      s t.states_rev
   in
   S.elements s

@@ -1,9 +1,10 @@
 (** In-memory recording sink.
 
-    Buffers every span and instant in arrival order (which, for the
-    runtimes, is deterministic simulated-event order — not sorted by
-    start time, since spans are emitted when they {e close}).  The
-    buffers feed {!Chrome_trace} and the tests. *)
+    Buffers every span, instant and thread-state interval in arrival
+    order (which, for the runtimes, is deterministic simulated-event
+    order — not sorted by start time, since spans and intervals are
+    emitted when they {e close}).  The buffers feed {!Chrome_trace},
+    the determinism profiler and the tests. *)
 
 type t
 
@@ -19,8 +20,12 @@ val spans : t -> Span.t list
 val instants : t -> Span.instant list
 (** In arrival order. *)
 
+val states : t -> Thread_state.interval list
+(** In arrival order; per-thread subsequences are in time order. *)
+
 val span_count : t -> int
 val instant_count : t -> int
+val state_count : t -> int
 val clear : t -> unit
 
 val tids : t -> int list

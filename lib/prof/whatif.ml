@@ -1,0 +1,123 @@
+module Cm = Runtime.Cost_model
+
+type row = {
+  scenario : string;
+  descr : string;
+  wall_ns : int;
+  speedup : float;
+  diverged : bool;
+  stream_reordered : bool;
+}
+
+type t = { runtime_name : string; base_wall_ns : int; rows : row list }
+
+(* Each scenario is a pure transform of the cost model.  The recorded
+   schedule is replayed under the transformed model; on a deterministic
+   runtime the computation and its witnesses must be unchanged, so the
+   wall-clock delta is attributable to the cost change (plus its
+   legitimate second-order scheduling effects, e.g. barrier-departure
+   wake order reshuffling when wakeups get cheaper — the replayer's
+   stream checker flags those, but they do not invalidate the
+   projection).  [diverged] is the invalidating case: the perturbed run
+   produced different witnesses, so the speedup is not comparing like
+   with like (expected when the recording came from [pthreads], whose
+   interleaving is time-driven). *)
+let scenarios : (string * string * (Cm.t -> Cm.t)) list =
+  [
+    ( "merge-2x",
+      "page merging twice as fast",
+      fun c -> { c with Cm.page_merge_ns = c.Cm.page_merge_ns / 2 } );
+    ( "commit-2x",
+      "commit pipeline (install+merge) twice as fast",
+      fun c ->
+        {
+          c with
+          Cm.commit_base_ns = c.Cm.commit_base_ns / 2;
+          page_commit_ns = c.Cm.page_commit_ns / 2;
+          page_merge_ns = c.Cm.page_merge_ns / 2;
+          barrier_phase1_page_ns = c.Cm.barrier_phase1_page_ns / 2;
+        } );
+    ( "commit-free",
+      "commits and updates cost nothing",
+      fun c ->
+        {
+          c with
+          Cm.commit_base_ns = 0;
+          page_commit_ns = 0;
+          page_merge_ns = 0;
+          barrier_phase1_page_ns = 0;
+          update_base_ns = 0;
+          page_refresh_ns = 0;
+          page_map_ns = 0;
+        } );
+    ( "token-free",
+      "token handoffs and wakeups cost nothing",
+      fun c -> { c with Cm.token_ns = 0; wake_ns = 0 } );
+    ( "boundary-free",
+      "counter reads and overflow interrupts cost nothing",
+      fun c ->
+        {
+          c with
+          Cm.counter_read_syscall_ns = 0;
+          counter_read_user_ns = 0;
+          overflow_interrupt_ns = 0;
+        } );
+    ( "fault-free",
+      "write faults cost nothing",
+      fun c -> { c with Cm.page_fault_ns = 0 } );
+  ]
+
+let run ?(runtime = Runtime.Run.consequence_ic) ?(costs = Cm.default) ?(seed = 1) ?nthreads
+    program =
+  let sched, base = Replay.Schedule.record runtime ~costs ~seed ?nthreads program in
+  let base_wall = base.Stats.Run_result.wall_ns in
+  let rows =
+    List.map
+      (fun (scenario, descr, f) ->
+        let outcome = Replay.Replayer.replay ~costs:(f costs) sched program in
+        let wall = outcome.Replay.Replayer.result.Stats.Run_result.wall_ns in
+        {
+          scenario;
+          descr;
+          wall_ns = wall;
+          speedup = float_of_int base_wall /. float_of_int (max 1 wall);
+          diverged = not outcome.Replay.Replayer.hash_match;
+          stream_reordered = outcome.Replay.Replayer.divergence <> None;
+        })
+      scenarios
+  in
+  { runtime_name = Runtime.Run.name runtime; base_wall_ns = base_wall; rows }
+
+let to_json t =
+  Obs.Json.Obj
+    [
+      ("runtime", Obs.Json.String t.runtime_name);
+      ("base_wall_ns", Obs.Json.Int t.base_wall_ns);
+      ( "scenarios",
+        Obs.Json.List
+          (List.map
+             (fun r ->
+               Obs.Json.Obj
+                 [
+                   ("scenario", Obs.Json.String r.scenario);
+                   ("descr", Obs.Json.String r.descr);
+                   ("wall_ns", Obs.Json.Int r.wall_ns);
+                   ("speedup", Obs.Json.Float r.speedup);
+                   ("diverged", Obs.Json.Bool r.diverged);
+                   ("stream_reordered", Obs.Json.Bool r.stream_reordered);
+                 ])
+             t.rows) );
+    ]
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>what-if (replayed schedule, %s, base %dns):@," t.runtime_name
+    t.base_wall_ns;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-14s %12dns  %6.3fx  %s  (%s)@," r.scenario r.wall_ns r.speedup
+        (if r.diverged then "DIVERGED"
+         else if r.stream_reordered then "ok, wakes reordered"
+         else "ok")
+        r.descr)
+    t.rows;
+  Format.fprintf fmt "@]"

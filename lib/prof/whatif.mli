@@ -1,0 +1,49 @@
+(** What-if cost projection: measured (not merely analytic) speedup
+    estimates, COZ-style.
+
+    The schedule of one run is recorded with [lib/replay], then replayed
+    under perturbed {!Runtime.Cost_model}s — merges twice as fast,
+    commits free, token handoffs free, ….  Because the deterministic
+    runtimes order events by logical instruction counts and the replay
+    scripts the overflow boundaries, the re-execution performs the
+    {e same} schedule at different prices; the resulting wall-clock
+    ratio is the measured answer to "what would optimizing X buy on this
+    workload".  Unlike {!Critical_path.projections} (per-state upper
+    bounds), these numbers include second-order effects such as wait
+    times that shrink when the operation they wait for gets cheaper.
+
+    Each replay cross-checks the recording.  [diverged] is the
+    invalidating case — the perturbed run produced {e different
+    witnesses}, so the ratio does not compare like with like (expected
+    for [pthreads] recordings, whose interleaving is time-driven).
+    [stream_reordered] is the benign case: witnesses match but the event
+    stream shuffled (e.g. barrier-departure wake order when wakeups get
+    cheaper) — precisely the second-order scheduling effect the
+    projection is meant to include. *)
+
+type row = {
+  scenario : string;
+  descr : string;
+  wall_ns : int;
+  speedup : float;  (** recorded wall / scenario wall *)
+  diverged : bool;  (** witnesses differ: projection invalid *)
+  stream_reordered : bool;  (** same witnesses, shuffled event stream *)
+}
+
+type t = { runtime_name : string; base_wall_ns : int; rows : row list }
+
+val scenarios : (string * string * (Runtime.Cost_model.t -> Runtime.Cost_model.t)) list
+(** The scenario registry: (name, description, cost transform). *)
+
+val run :
+  ?runtime:Runtime.Run.runtime ->
+  ?costs:Runtime.Cost_model.t ->
+  ?seed:int ->
+  ?nthreads:int ->
+  Api.t ->
+  t
+(** Record one run (default [consequence_ic], seed 1) and replay every
+    scenario against it. *)
+
+val to_json : t -> Obs.Json.t
+val pp : Format.formatter -> t -> unit

@@ -61,6 +61,15 @@ type thread_state = {
          the loser's *chunk*, not its commit instant. *)
   mutable token_t0 : int;  (** time the global was acquired; -1 = not held *)
   mutable chunk_open_ns : int;  (** time the current chunk opened *)
+  mutable prof_chunk : int;
+      (* Ordinal of the chunk currently charged to: bumped at every chunk
+         (re)open, so the coordination work that closes a chunk is
+         attributed to the chunk it closes.  Pure observability. *)
+  mutable prof_waker : int;
+      (* tid of the thread whose grant/serial-turn/fence release ended (or
+         will end) this thread's current wait; -1 = none recorded.  Set by
+         the waker, consumed by the wait-interval emission, and never read
+         by the algorithms. *)
   mutable serial_sticky : bool;
       (* Synchronous mode: this thread finished a sync op and still holds
          its serial turn; consecutive sync ops with no intervening user
@@ -126,6 +135,10 @@ type t = {
          release-epoch); lets conflict events carry the loser's chunk
          stamp.  Only populated when an observer is attached. *)
   obs : Obs.Sink.t;
+  mutable prof_enabler : int;
+      (* Last thread that released the global / published a clock
+         increment / departed — the best available "waker" for a token
+         wait that ends without a direct grant.  Observability only. *)
   metrics : Obs.Metrics.t;
   (* Interned metric handles: the hot paths record through these instead
      of string-keyed lookups (one hashtable probe per sync op adds up). *)
@@ -207,12 +220,6 @@ let unlock_label mid =
   if mid >= 0 && mid < n_interned then interned_unlock.(mid)
   else "unlock:" ^ string_of_int mid
 
-let charge rt th cat ns =
-  if ns > 0 then begin
-    Bd.add th.bd cat ns;
-    Sim.Engine.advance rt.eng ns
-  end
-
 (* [op] is the operation-family counter for the label (op_lock for
    "lock:3"), passed as an interned handle so the hot path neither scans
    the label nor hashes a key string. *)
@@ -235,6 +242,48 @@ let span rt ~cat ~name ~tid ~t0 ?(args = []) () =
 (* Rt_event payloads allocate (records, label strings): construct them
    only when somebody is listening.  Call sites guard with [emitting]. *)
 let emitting rt = rt.observer <> None || not (Obs.Sink.is_null rt.obs)
+
+(* ------------------------------------------------------------------ *)
+(* Thread-state accounting (the determinism profiler's input stream)   *)
+(* ------------------------------------------------------------------ *)
+
+module St = Obs.Thread_state
+
+(* Every charge is labelled with a profiler state; the legacy Breakdown
+   category is derived from it, so the per-thread breakdown totals are
+   byte-identical to the pre-profiler accounting. *)
+let bd_of_state = function
+  | St.Run -> Bd.Chunk
+  | St.Token_wait -> Bd.Determ_wait
+  | St.Lock_wait -> Bd.Lock_wait
+  | St.Barrier_wait -> Bd.Barrier_wait
+  | St.Commit -> Bd.Commit
+  | St.Update -> Bd.Update
+  | St.Fault -> Bd.Page_fault
+  | St.Overflow | St.Runtime | St.Gc -> Bd.Library
+  | St.Fork -> Bd.Fork
+
+(* Emit one closed state interval [t0, now).  Purely observational: the
+   sink sees the interval after the time has already been spent. *)
+let state_interval rt th ~state ~t0 ?(waker = -1) () =
+  if tracing rt then begin
+    let t1 = Sim.Engine.now rt.eng in
+    if t1 > t0 then
+      rt.obs.Obs.Sink.state
+        { Obs.Thread_state.stid = th.tid; state; t0; t1; chunk = th.prof_chunk; waker }
+  end
+
+(* Charge [ns] of simulated time to [th] in profiler state [st].  The
+   simulated clock only ever moves inside a charge or while blocked in
+   a measured wait loop, so each thread's intervals tile its lifetime
+   exactly (the conservation invariant test_prof enforces). *)
+let charge rt th st ns =
+  if ns > 0 then begin
+    Bd.add th.bd (bd_of_state st) ns;
+    let t0 = Sim.Engine.now rt.eng in
+    Sim.Engine.advance rt.eng ns;
+    state_interval rt th ~state:st ~t0 ()
+  end
 
 let emit rt ev =
   (match rt.observer with Some f -> f ev | None -> ());
@@ -372,7 +421,8 @@ let publish rt th ~overflow =
     | None -> ());
     Lc.tick th.clock (jittered_increment rt th th.unpublished);
     th.unpublished <- 0;
-    Tok.poke rt.token
+    Tok.poke rt.token;
+    rt.prof_enabler <- th.tid
   end
 
 (* Read the performance counter at the end of a chunk: a syscall, or a
@@ -382,7 +432,7 @@ let counter_read rt th =
     if th.coarsen_holding && rt.cfg.userspace_reads then rt.costs.Cost_model.counter_read_user_ns
     else rt.costs.Cost_model.counter_read_syscall_ns
   in
-  charge rt th Bd.Library cost;
+  charge rt th St.Overflow cost;
   publish rt th ~overflow:false
 
 (* ------------------------------------------------------------------ *)
@@ -477,7 +527,7 @@ let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
       + (ci.pages_committed * c.Cost_model.page_commit_ns)
       + (ci.pages_merged * c.Cost_model.page_merge_ns)
     in
-    charge rt th Bd.Commit (int_of_float (float_of_int ns *. rt.cfg.commit_cost_mult));
+    charge rt th St.Commit (int_of_float (float_of_int ns *. rt.cfg.commit_cost_mult));
     Obs.Metrics.record rt.mh.mh_commit_ns (Sim.Engine.now rt.eng - t0);
     Obs.Metrics.record rt.mh.mh_commit_pages ci.pages_committed;
     if tracing rt then
@@ -503,7 +553,7 @@ let charge_update rt th (ui : Vmem.Workspace.update_info) =
       + (ui.pages_propagated * c.Cost_model.page_map_ns)
       + (ui.pages_refreshed * c.Cost_model.page_refresh_ns)
     in
-    charge rt th Bd.Update ns;
+    charge rt th St.Update ns;
     Obs.Metrics.record rt.mh.mh_update_ns (Sim.Engine.now rt.eng - t0);
     if tracing rt then
       span rt ~cat:Obs.Span.Update
@@ -534,7 +584,7 @@ let fence_complete rt =
     (fun th ok -> ok && ((not (fence_participant th)) || Hashtbl.mem rt.fence_arrived th.tid))
     true
 
-let fence_release rt =
+let fence_release rt ~waker =
   let arrived =
     Hashtbl.fold (fun tid () acc -> tid :: acc) rt.fence_arrived [] |> List.sort compare
   in
@@ -542,20 +592,24 @@ let fence_release rt =
   rt.fence_generation <- rt.fence_generation + 1;
   (* The epoch's serial phase processes arrivals in thread-id order. *)
   rt.serial_queue <- rt.serial_queue @ arrived;
-  List.iter (fun tid -> Sim.Engine.wakeup rt.eng tid) arrived
+  List.iter
+    (fun tid ->
+      if tid <> waker then (thread rt tid).prof_waker <- waker;
+      Sim.Engine.wakeup rt.eng tid)
+    arrived
 
 (* Called whenever the participant set shrinks (park, exit): the fence may
    now be complete without a new arrival. *)
-let fence_check rt =
+let fence_check rt ~waker =
   if
     rt.cfg.ordering = Config.Round_robin
     && Hashtbl.length rt.fence_arrived > 0
     && fence_complete rt
-  then fence_release rt
+  then fence_release rt ~waker
 
 let fence_wait rt th =
   Hashtbl.replace rt.fence_arrived th.tid ();
-  if fence_complete rt then fence_release rt
+  if fence_complete rt then fence_release rt ~waker:th.tid
   else begin
     let gen = rt.fence_generation in
     while rt.fence_generation = gen do
@@ -575,7 +629,11 @@ let serial_done rt th =
   match rt.serial_queue with
   | head :: rest when head = th.tid ->
       rt.serial_queue <- rest;
-      (match rest with next :: _ -> Sim.Engine.wakeup rt.eng next | [] -> ())
+      (match rest with
+      | next :: _ ->
+          (thread rt next).prof_waker <- th.tid;
+          Sim.Engine.wakeup rt.eng next
+      | [] -> ())
   | _ -> invalid_arg "Det_rt.serial_done: thread is not at the head of the serial queue"
 
 (* Round-robin ordering is implemented with the epoch fence + serial
@@ -600,7 +658,15 @@ let acquire_global rt th =
   let waited = Sim.Engine.now rt.eng - t0 in
   Bd.add th.bd Bd.Determ_wait waited;
   Obs.Metrics.record rt.mh.mh_determ_wait_ns waited;
-  if waited > 0 then span rt ~cat:Obs.Span.Determ_wait ~name:"determ-wait" ~tid:th.tid ~t0 ();
+  if waited > 0 then begin
+    span rt ~cat:Obs.Span.Determ_wait ~name:"determ-wait" ~tid:th.tid ~t0 ();
+    (* A token wait has no explicit grant: credit the last recorded
+       serial-turn/fence waker, falling back to the last thread that made
+       the token grantable (released it or published a clock tick). *)
+    let waker = if th.prof_waker >= 0 then th.prof_waker else rt.prof_enabler in
+    state_interval rt th ~state:St.Token_wait ~t0 ~waker ()
+  end;
+  th.prof_waker <- -1;
   th.token_t0 <- Sim.Engine.now rt.eng
 
 let release_global rt th =
@@ -610,7 +676,10 @@ let release_global rt th =
     th.token_t0 <- -1
   end;
   if uses_fence rt then th.serial_sticky <- true
-  else Tok.release rt.token ~tid:th.tid
+  else begin
+    Tok.release rt.token ~tid:th.tid;
+    rt.prof_enabler <- th.tid
+  end
 
 (* Surrender a deferred serial turn (before running user work, parking,
    or exiting). *)
@@ -647,6 +716,7 @@ let open_chunk rt th =
   Lc.resume th.clock;
   th.chunk_start_instr <- th.instr_retired;
   th.chunk_open_ns <- Sim.Engine.now rt.eng;
+  th.prof_chunk <- th.prof_chunk + 1;
   Ofp.begin_chunk th.ofp;
   th.next_overflow_in <- 0
 
@@ -661,8 +731,8 @@ let enter_coordination rt th =
     settle_post_unlock rt th;
     close_chunk rt th;
     th.coarsen_holding <- false;
-    fence_check rt;
-    charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns;
+    fence_check rt ~waker:th.tid;
+    charge rt th St.Runtime rt.costs.Cost_model.sync_op_base_ns;
     (* The coarsened chunk's coalesced commit must happen here: the
        deferred writes include critical sections whose locks were already
        released, and the operation we are converting into may block and
@@ -673,13 +743,13 @@ let enter_coordination rt th =
   end
   else begin
     close_chunk rt th;
-    charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns;
+    charge rt th St.Runtime rt.costs.Cost_model.sync_op_base_ns;
     acquire_global rt th;
     (* Post-unlock chunk samples fold into the shared per-lock estimate
        only while holding the global, so the fold order — and with it
        every later coarsening decision — is deterministic. *)
     settle_post_unlock rt th;
-    charge rt th Bd.Library rt.costs.Cost_model.token_ns
+    charge rt th St.Runtime rt.costs.Cost_model.token_ns
   end;
   (* Multiplicative increase / decrease of the coarsening budget: repeated
      coordination by the same thread doubles it, alternation halves it
@@ -692,7 +762,7 @@ let enter_coordination rt th =
 
 let leave_coordination rt th =
   release_global rt th;
-  charge rt th Bd.Library rt.costs.Cost_model.token_ns;
+  charge rt th St.Runtime rt.costs.Cost_model.token_ns;
   open_chunk rt th
 
 (* Begin a coarsened chunk: keep the token and defer commits. *)
@@ -701,7 +771,7 @@ let begin_coarsen rt th =
   th.coarsen_ops <- 0;
   th.coarsen_start_instr <- th.instr_retired;
   rt.coarsened_chunks <- rt.coarsened_chunks + 1;
-  fence_check rt;
+  fence_check rt ~waker:th.tid;
   open_chunk rt th
 
 (* End a coarsened chunk: single coalesced commit, then release. *)
@@ -712,9 +782,10 @@ let end_coarsen rt th =
   counter_read rt th;
   commit_and_update rt th;
   release_global rt th;
-  charge rt th Bd.Library rt.costs.Cost_model.token_ns;
+  charge rt th St.Runtime rt.costs.Cost_model.token_ns;
   th.chunk_start_instr <- th.instr_retired;
   th.chunk_open_ns <- Sim.Engine.now rt.eng;
+  th.prof_chunk <- th.prof_chunk + 1;
   Ofp.begin_chunk th.ofp;
   th.next_overflow_in <- 0
 
@@ -754,7 +825,7 @@ let rec consume rt th n =
        in
        th.next_overflow_in <- Ofp.next_interval ~ic:th.instr_retired th.ofp ~waiter_gap:gap);
     let step = min n th.next_overflow_in in
-    charge rt th Bd.Chunk (Cost_model.work_ns rt.costs th.prng step);
+    charge rt th St.Run (Cost_model.work_ns rt.costs th.prng step);
     th.instr_retired <- th.instr_retired + step;
     th.unpublished <- th.unpublished + step;
     th.next_overflow_in <- th.next_overflow_in - step;
@@ -764,7 +835,7 @@ let rec consume rt th n =
          The kernel module publishes directly from the interrupt handler,
          so no syscall cost is charged on top of the interrupt itself. *)
       rt.overflow_interrupts <- rt.overflow_interrupts + 1;
-      charge rt th Bd.Library rt.costs.Cost_model.overflow_interrupt_ns;
+      charge rt th St.Overflow rt.costs.Cost_model.overflow_interrupt_ns;
       publish rt th ~overflow:true
     end;
     (* Ad-hoc synchronization support (section 2.7): bound the number of
@@ -789,7 +860,7 @@ let charge_new_faults rt th before_faults =
       int_of_float
         (float_of_int (faults * rt.costs.Cost_model.page_fault_ns) *. rt.cfg.fault_cost_mult)
     in
-    charge rt th Bd.Page_fault ns
+    charge rt th St.Fault ns
   end
 
 (* ------------------------------------------------------------------ *)
@@ -804,25 +875,30 @@ let charge_new_faults rt th before_faults =
    eligibility depend on the real-time wake latency and break
    determinism (the paper's wakeupThread() likewise "adds the thread
    back into consideration for the GMIC"). *)
-let park rt th ~category ~reason ~ready =
+let park rt th ~state ~reason ~ready =
   flush_sticky rt th;
   Lc.depart th.clock;
   th.parked <- true;
   Tok.poke rt.token;
-  fence_check rt;
+  rt.prof_enabler <- th.tid;
+  fence_check rt ~waker:th.tid;
   let t0 = Sim.Engine.now rt.eng in
   while not (ready ()) do
     Sim.Engine.block rt.eng ~reason
   done;
   let waited = Sim.Engine.now rt.eng - t0 in
-  Bd.add th.bd category waited;
+  Bd.add th.bd (bd_of_state state) waited;
   (let scat, hist =
-     match category with
-     | Bd.Barrier_wait -> (Obs.Span.Barrier_wait, rt.mh.mh_barrier_wait_ns)
+     match state with
+     | St.Barrier_wait -> (Obs.Span.Barrier_wait, rt.mh.mh_barrier_wait_ns)
      | _ -> (Obs.Span.Lock_wait, rt.mh.mh_lock_wait_ns)
    in
    Obs.Metrics.record hist waited;
-   if waited > 0 then span rt ~cat:scat ~name:reason ~tid:th.tid ~t0 ());
+   if waited > 0 then begin
+     span rt ~cat:scat ~name:reason ~tid:th.tid ~t0 ();
+     state_interval rt th ~state ~t0 ~waker:th.prof_waker ()
+   end);
+  th.prof_waker <- -1;
   (* Normally the granter already cleared these (and fast-forwarded our
      clock); when the grant landed before we even blocked — ready() was
      true on entry — restore them ourselves.  No simulated time passes in
@@ -840,6 +916,7 @@ let grant rt ~waker wakee ~before =
   if rt.cfg.fast_forward then
     ignore (Lc.fast_forward wakee.clock ~to_count:(Lc.published waker.clock));
   wakee.parked <- false;
+  wakee.prof_waker <- waker.tid;
   Lc.arrive wakee.clock;
   Tok.poke rt.token;
   Sim.Engine.wakeup rt.eng wakee.tid
@@ -906,14 +983,14 @@ and mutex_lock_slow rt th mid =
           th.instr_retired <- th.instr_retired + increment;
           Lc.pause th.clock;
           Tok.poke rt.token;
-          charge rt th Bd.Lock_wait rt.costs.Cost_model.token_ns
+          charge rt th St.Lock_wait rt.costs.Cost_model.token_ns
       | None ->
           (* Held: depart, queue, release the token, block (Fig 7 lines
              9-14) — the paper's first blocking deterministic mutex. *)
           th.lock_grant <- false;
           Queue.push th.tid m.lock_waitq;
           release_global rt th;
-          park rt th ~category:Bd.Lock_wait
+          park rt th ~state:St.Lock_wait
             ~reason:(Printf.sprintf "lock:%d" mid)
             ~ready:(fun () -> th.lock_grant)
     end
@@ -954,7 +1031,7 @@ let mutex_unlock rt th mid =
     record_sync rt th ~op:rt.mh.mh_op_unlock (unlock_label mid);
     emit_release rt th (Rt_event.obj_mutex mid);
     th.coarsen_ops <- th.coarsen_ops + 1;
-    charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns;
+    charge rt th St.Runtime rt.costs.Cost_model.sync_op_base_ns;
     (* Continue coarsening over the upcoming chunk if it is expected to
        fit (section 3.1). *)
     if not (coarsen_decision rt th ~estimate:post_estimate) then end_coarsen rt th;
@@ -985,8 +1062,8 @@ let cond_wait rt th cid mid =
   th.cond_grant <- false;
   Queue.push th.tid c.cond_waitq;
   release_global rt th;
-  charge rt th Bd.Library rt.costs.Cost_model.token_ns;
-  park rt th ~category:Bd.Lock_wait
+  charge rt th St.Runtime rt.costs.Cost_model.token_ns;
+  park rt th ~state:St.Lock_wait
     ~reason:(Printf.sprintf "cond:%d" cid)
     ~ready:(fun () -> th.cond_grant);
   if emitting rt then emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_cond cid });
@@ -1005,7 +1082,7 @@ let rec cond_signal rt th cid ~broadcast =
     ~op:(if broadcast then rt.mh.mh_op_broadcast else rt.mh.mh_op_signal)
     ((if broadcast then "broadcast:" else "signal:") ^ string_of_int cid);
     th.coarsen_ops <- th.coarsen_ops + 1;
-    charge rt th Bd.Library rt.costs.Cost_model.sync_op_base_ns
+    charge rt th St.Runtime rt.costs.Cost_model.sync_op_base_ns
   end
   else cond_signal_slow rt th cid ~broadcast
 
@@ -1017,7 +1094,7 @@ and cond_signal_slow rt th cid ~broadcast =
       let next = Queue.pop c.cond_waitq in
       let waiter = thread rt next in
       grant rt ~waker:th waiter ~before:(fun () -> waiter.cond_grant <- true);
-      charge rt th Bd.Library rt.costs.Cost_model.wake_ns;
+      charge rt th St.Runtime rt.costs.Cost_model.wake_ns;
       if broadcast then grant_one ()
     end
   in
@@ -1052,7 +1129,7 @@ let barrier_wait rt th bid =
      stamp_commit rt th ci;
      if ci.Vmem.Workspace.pages_committed > 0 then begin
        let t0 = Sim.Engine.now rt.eng in
-       charge rt th Bd.Commit
+       charge rt th St.Commit
          (c.Cost_model.commit_base_ns
          + (ci.Vmem.Workspace.pages_committed * c.Cost_model.barrier_phase1_page_ns));
        Obs.Metrics.record rt.mh.mh_commit_ns (Sim.Engine.now rt.eng - t0);
@@ -1094,7 +1171,7 @@ let barrier_wait rt th bid =
   let last = List.length b.arrived_tids = b.parties in
   th.barrier_grant <- false;
   release_global rt th;
-  charge rt th Bd.Library rt.costs.Cost_model.token_ns;
+  charge rt th St.Runtime rt.costs.Cost_model.token_ns;
   (* Waiters run phase 2 and the internal (non-deterministic) barrier
      outside the deterministic ordering: they depart, and re-arrive only
      through their grant — a deterministic point in the global order.
@@ -1104,10 +1181,11 @@ let barrier_wait rt th bid =
      nondeterministic (found by the determinism fuzzer). *)
   if not last then begin
     Lc.depart th.clock;
-    Tok.poke rt.token
+    Tok.poke rt.token;
+    rt.prof_enabler <- th.tid
   end;
   (let p2_t0 = Sim.Engine.now rt.eng in
-   charge rt th Bd.Commit (int_of_float (float_of_int !phase2_pages *. rt.cfg.commit_cost_mult));
+   charge rt th St.Commit (int_of_float (float_of_int !phase2_pages *. rt.cfg.commit_cost_mult));
    if !phase2_pages > 0 then begin
      Obs.Metrics.record rt.mh.mh_commit_ns (Sim.Engine.now rt.eng - p2_t0);
      span rt ~cat:Obs.Span.Commit ~name:"commit-phase2" ~tid:th.tid ~t0:p2_t0 ()
@@ -1121,13 +1199,13 @@ let barrier_wait rt th bid =
         let w = thread rt tid in
         grant rt ~waker:th w ~before:(fun () -> w.barrier_grant <- true))
       others;
-    charge rt th Bd.Library (List.length others * rt.costs.Cost_model.wake_ns)
+    charge rt th St.Runtime (List.length others * rt.costs.Cost_model.wake_ns)
   end
   else
     (* The wake condition must be the grant itself: a stale wakeup permit
        plus a generation test could let a waiter slip out of the park
        before its grant ran (leaving it departed forever). *)
-    park rt th ~category:Bd.Barrier_wait
+    park rt th ~state:St.Barrier_wait
       ~reason:(Printf.sprintf "barrier:%d" bid)
       ~ready:(fun () -> th.barrier_grant);
   if emitting rt then emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_barrier bid });
@@ -1260,6 +1338,8 @@ and new_thread_state rt ~tid ~name ~inherit_count =
     post_ewma = Hashtbl.create 8;
     token_t0 = -1;
     chunk_open_ns = Sim.Engine.now rt.eng;
+    prof_chunk = 0;
+    prof_waker = -1;
     serial_sticky = false;
     race_epoch = 1;
     chunk_epoch = 1;
@@ -1275,7 +1355,8 @@ and thread_exit rt th =
   release_global rt th;
   Lc.finish th.clock;
   Tok.poke rt.token;
-  fence_check rt;
+  rt.prof_enabler <- th.tid;
+  fence_check rt ~waker:th.tid;
   (match th.joiner with
   | Some j -> grant rt ~waker:th (thread rt j) ~before:(fun () -> (thread rt j).join_grant <- true)
   | None -> ());
@@ -1298,11 +1379,11 @@ and spawn_thread rt th ?name body =
      populated page-table entry of the Conversion segment. *)
   (if rt.cfg.thread_pool && rt.pool_size > 0 then begin
      rt.pool_size <- rt.pool_size - 1;
-     charge rt th Bd.Fork rt.costs.Cost_model.pool_reuse_ns
+     charge rt th St.Fork rt.costs.Cost_model.pool_reuse_ns
    end
    else begin
      let populated = Vmem.Segment.touched_pages rt.seg in
-     charge rt th Bd.Fork
+     charge rt th St.Fork
        (rt.costs.Cost_model.fork_base_ns + (populated * rt.costs.Cost_model.fork_page_ns))
    end);
   let child = new_thread_state rt ~tid:child_tid ~name ~inherit_count:(Lc.published th.clock) in
@@ -1344,7 +1425,7 @@ and join_thread rt th target_tid =
     target.joiner <- Some th.tid;
     th.join_grant <- false;
     close_chunk rt th;
-    park rt th ~category:Bd.Lock_wait
+    park rt th ~state:St.Lock_wait
       ~reason:(Printf.sprintf "join:%d" target_tid)
       ~ready:(fun () -> th.join_grant);
     Lc.resume th.clock;
@@ -1412,6 +1493,7 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
       observer;
       race_stamp = Hashtbl.create 256;
       obs;
+      prof_enabler = -1;
       metrics;
       mh =
         {

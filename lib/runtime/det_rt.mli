@@ -38,9 +38,14 @@ val run :
     order (used by the Fig 16 LRC study).  [obs] (default
     {!Obs.Sink.null}) receives timing spans — token holds, determ /
     lock / barrier waits, chunks, commits, updates, fork / join — keyed
-    to the simulated clock.  Instrumentation is determinism-neutral: an
-    instrumented run produces the same witnesses {e and} the same
-    [wall_ns] as a bare run (enforced by the neutrality tests).
+    to the simulated clock, plus the exhaustive {!Obs.Thread_state}
+    interval stream the determinism profiler ([lib/prof]) aggregates:
+    every instant of every thread's lifetime classified into one of the
+    eleven states, tiling the lifetime exactly (the conservation
+    invariant), with completed waits stamped with the waking thread's
+    tid.  Instrumentation is determinism-neutral: an instrumented run
+    produces the same witnesses {e and} the same [wall_ns] as a bare
+    run (enforced by the neutrality tests).
 
     @raise Sim.Engine.Deadlock if the program deadlocks.
     @raise Sim.Engine.Stuck if the program exceeds the event budget,

@@ -17,6 +17,9 @@ type thread_state = {
       (* release count + 1: the thread's own vector-clock component as a
          race detector replaying our event stream would track it.  Only
          maintained (and only meaningful) when an observer is attached. *)
+  mutable prof_waker : int;
+      (* tid whose unlock/signal/barrier-arrival/exit ended this thread's
+         current wait; -1 = none.  Observability only. *)
 }
 
 type mutex_rec = { mutable held_by : int option; waitq : int Queue.t }
@@ -52,10 +55,30 @@ type t = {
 
 let thread rt tid = Hashtbl.find rt.threads tid
 
-let charge rt th cat ns =
+module St = Obs.Thread_state
+
+(* Pthreads uses a strict subset of the profiler states (no token, no
+   commits, no chunks); the Breakdown category is derived so the legacy
+   per-thread breakdown is unchanged. *)
+let bd_of_state = function
+  | St.Run -> Bd.Chunk
+  | St.Token_wait -> Bd.Determ_wait
+  | St.Lock_wait -> Bd.Lock_wait
+  | St.Barrier_wait -> Bd.Barrier_wait
+  | St.Commit -> Bd.Commit
+  | St.Update -> Bd.Update
+  | St.Fault -> Bd.Page_fault
+  | St.Overflow | St.Runtime | St.Gc -> Bd.Library
+  | St.Fork -> Bd.Fork
+
+let charge rt th st ns =
   if ns > 0 then begin
-    Bd.add th.bd cat ns;
-    Sim.Engine.advance rt.eng ns
+    Bd.add th.bd (bd_of_state st) ns;
+    let t0 = Sim.Engine.now rt.eng in
+    Sim.Engine.advance rt.eng ns;
+    if not (Obs.Sink.is_null rt.obs) then
+      rt.obs.Obs.Sink.state
+        { Obs.Thread_state.stid = th.tid; state = st; t0; t1 = t0 + ns; chunk = 0; waker = -1 }
   end
 
 let label_family label =
@@ -71,13 +94,17 @@ let record_sync rt th label =
 (* Wait instrumentation shared by lock / cond / barrier / join blocking
    paths: record the wait in the breakdown, the metrics histogram, and —
    when a sink is attached — as a span. *)
-let charge_wait rt th ~category ~scat ~key ~name ~t0 =
+let charge_wait rt th ~state ~scat ~key ~name ~t0 =
   let waited = Sim.Engine.now rt.eng - t0 in
-  Bd.add th.bd category waited;
+  Bd.add th.bd (bd_of_state state) waited;
   Obs.Metrics.observe rt.metrics key waited;
-  if waited > 0 && not (Obs.Sink.is_null rt.obs) then
-    rt.obs.Obs.Sink.span
-      { Obs.Span.name; cat = scat; tid = th.tid; t0; t1 = Sim.Engine.now rt.eng; args = [] }
+  if waited > 0 && not (Obs.Sink.is_null rt.obs) then begin
+    let t1 = Sim.Engine.now rt.eng in
+    rt.obs.Obs.Sink.span { Obs.Span.name; cat = scat; tid = th.tid; t0; t1; args = [] };
+    rt.obs.Obs.Sink.state
+      { Obs.Thread_state.stid = th.tid; state; t0; t1; chunk = 0; waker = th.prof_waker }
+  end;
+  th.prof_waker <- -1
 
 (* Happens-before event emission.  Pthreads has no deterministic token
    order, so the stream follows simulated wall-clock order — which is the
@@ -179,7 +206,7 @@ let barrier_of rt id =
 let work rt th n =
   if n > 0 then begin
     th.instr_retired <- th.instr_retired + n;
-    charge rt th Bd.Chunk (Cost_model.work_ns rt.costs th.prng n)
+    charge rt th St.Run (Cost_model.work_ns rt.costs th.prng n)
   end
 
 let mem_instr rt len = max 1 (len / 8 * rt.costs.Cost_model.mem_op_instr_per_8bytes)
@@ -235,7 +262,7 @@ let fetch_add rt th ~report ~addr delta =
 
 let mutex_lock rt th mid =
   let m = mutex_of rt mid in
-  charge rt th Bd.Library rt.costs.Cost_model.pthread_lock_ns;
+  charge rt th St.Runtime rt.costs.Cost_model.pthread_lock_ns;
   if m.held_by = None then m.held_by <- Some th.tid
   else begin
     th.lock_grant <- false;
@@ -244,7 +271,7 @@ let mutex_lock rt th mid =
     while not th.lock_grant do
       Sim.Engine.block rt.eng ~reason:(Printf.sprintf "lock:%d" mid)
     done;
-    charge_wait rt th ~category:Bd.Lock_wait ~scat:Obs.Span.Lock_wait ~key:"lock_wait_ns"
+    charge_wait rt th ~state:St.Lock_wait ~scat:Obs.Span.Lock_wait ~key:"lock_wait_ns"
       ~name:(Printf.sprintf "lock:%d" mid) ~t0;
     m.held_by <- Some th.tid
   end;
@@ -255,20 +282,22 @@ let mutex_unlock rt th mid =
   let m = mutex_of rt mid in
   if m.held_by <> Some th.tid then
     invalid_arg (Printf.sprintf "unlock: thread %d does not hold mutex %d" th.tid mid);
-  charge rt th Bd.Library rt.costs.Cost_model.pthread_unlock_ns;
+  charge rt th St.Runtime rt.costs.Cost_model.pthread_unlock_ns;
   emit_release rt th (Rt_event.obj_mutex mid);
   m.held_by <- None;
   if not (Queue.is_empty m.waitq) then begin
     let next = Queue.pop m.waitq in
-    (thread rt next).lock_grant <- true;
+    let w = thread rt next in
+    w.lock_grant <- true;
+    w.prof_waker <- th.tid;
     Sim.Engine.wakeup rt.eng next;
-    charge rt th Bd.Library rt.costs.Cost_model.wake_ns
+    charge rt th St.Runtime rt.costs.Cost_model.wake_ns
   end;
   record_sync rt th (Printf.sprintf "unlock:%d" mid)
 
 let cond_wait rt th cid mid =
   let c = cond_of rt cid in
-  charge rt th Bd.Library rt.costs.Cost_model.pthread_cond_ns;
+  charge rt th St.Runtime rt.costs.Cost_model.pthread_cond_ns;
   record_sync rt th (Printf.sprintf "cond_wait:%d" cid);
   (* Enqueue before releasing the mutex: wait+release must be atomic or a
      signal between them is lost (the unlock yields the simulated CPU). *)
@@ -279,20 +308,22 @@ let cond_wait rt th cid mid =
   while not th.cond_grant do
     Sim.Engine.block rt.eng ~reason:(Printf.sprintf "cond:%d" cid)
   done;
-  charge_wait rt th ~category:Bd.Lock_wait ~scat:Obs.Span.Lock_wait ~key:"lock_wait_ns"
+  charge_wait rt th ~state:St.Lock_wait ~scat:Obs.Span.Lock_wait ~key:"lock_wait_ns"
     ~name:(Printf.sprintf "cond:%d" cid) ~t0;
   emit_acquire rt th (Rt_event.obj_cond cid);
   mutex_lock rt th mid
 
 let cond_signal rt th cid ~broadcast =
   let c = cond_of rt cid in
-  charge rt th Bd.Library rt.costs.Cost_model.pthread_cond_ns;
+  charge rt th St.Runtime rt.costs.Cost_model.pthread_cond_ns;
   let rec grant_one () =
     if not (Queue.is_empty c.cond_waitq) then begin
       let next = Queue.pop c.cond_waitq in
-      (thread rt next).cond_grant <- true;
+      let w = thread rt next in
+      w.cond_grant <- true;
+      w.prof_waker <- th.tid;
       Sim.Engine.wakeup rt.eng next;
-      charge rt th Bd.Library rt.costs.Cost_model.wake_ns;
+      charge rt th St.Runtime rt.costs.Cost_model.wake_ns;
       if broadcast then grant_one ()
     end
   in
@@ -307,7 +338,7 @@ let barrier_init _rt _th b parties =
 let barrier_wait rt th bid =
   let b = barrier_of rt bid in
   if b.parties = 0 then invalid_arg (Printf.sprintf "barrier %d: not initialized" bid);
-  charge rt th Bd.Library rt.costs.Cost_model.pthread_barrier_ns;
+  charge rt th St.Runtime rt.costs.Cost_model.pthread_barrier_ns;
   record_sync rt th (Printf.sprintf "barrier:%d" bid);
   emit_release rt th (Rt_event.obj_barrier bid);
   b.arrived_tids <- th.tid :: b.arrived_tids;
@@ -315,7 +346,11 @@ let barrier_wait rt th bid =
     let others = List.filter (fun tid -> tid <> th.tid) b.arrived_tids in
     b.arrived_tids <- [];
     b.generation <- b.generation + 1;
-    List.iter (fun tid -> Sim.Engine.wakeup rt.eng tid) others
+    List.iter
+      (fun tid ->
+        (thread rt tid).prof_waker <- th.tid;
+        Sim.Engine.wakeup rt.eng tid)
+      others
   end
   else begin
     let gen = b.generation in
@@ -323,7 +358,7 @@ let barrier_wait rt th bid =
     while b.generation = gen do
       Sim.Engine.block rt.eng ~reason:(Printf.sprintf "barrier:%d" bid)
     done;
-    charge_wait rt th ~category:Bd.Barrier_wait ~scat:Obs.Span.Barrier_wait
+    charge_wait rt th ~state:St.Barrier_wait ~scat:Obs.Span.Barrier_wait
       ~key:"barrier_wait_ns"
       ~name:(Printf.sprintf "barrier:%d" bid)
       ~t0
@@ -368,6 +403,7 @@ and new_thread_state rt ~tid ~tname =
     cond_grant = false;
     join_grant = false;
     epoch = 1;
+    prof_waker = -1;
   }
 
 and thread_exit rt th =
@@ -376,12 +412,14 @@ and thread_exit rt th =
   th.exited <- true;
   match th.joiner with
   | Some j ->
-      (thread rt j).join_grant <- true;
+      let w = thread rt j in
+      w.join_grant <- true;
+      w.prof_waker <- th.tid;
       Sim.Engine.wakeup rt.eng j
   | None -> ()
 
 and spawn_thread rt th ?name body =
-  charge rt th Bd.Fork rt.costs.Cost_model.pthread_spawn_ns;
+  charge rt th St.Fork rt.costs.Cost_model.pthread_spawn_ns;
   let child_tid = rt.next_tid in
   rt.next_tid <- child_tid + 1;
   let tname = match name with Some n -> n | None -> Printf.sprintf "t%d" child_tid in
@@ -399,7 +437,7 @@ and spawn_thread rt th ?name body =
   child_tid
 
 and join_thread rt th target_tid =
-  charge rt th Bd.Fork rt.costs.Cost_model.pthread_join_ns;
+  charge rt th St.Fork rt.costs.Cost_model.pthread_join_ns;
   let target =
     match Hashtbl.find_opt rt.threads target_tid with
     | Some target -> target
@@ -413,7 +451,7 @@ and join_thread rt th target_tid =
     while not th.join_grant do
       Sim.Engine.block rt.eng ~reason:(Printf.sprintf "join:%d" target_tid)
     done;
-    charge_wait rt th ~category:Bd.Lock_wait ~scat:Obs.Span.Lock_wait ~key:"lock_wait_ns"
+    charge_wait rt th ~state:St.Lock_wait ~scat:Obs.Span.Lock_wait ~key:"lock_wait_ns"
       ~name:(Printf.sprintf "join:%d" target_tid)
       ~t0
   end;

@@ -18,8 +18,9 @@ val run :
   Api.t ->
   Stats.Run_result.t
 (** [obs] (default {!Obs.Sink.null}) receives lock / barrier / join wait
-    spans; pthreads has no token, chunks or commits, so only wait spans
-    and op counters appear.
+    spans and the {!Obs.Thread_state} interval stream (a strict subset
+    of the deterministic runtimes' states: run, runtime bookkeeping,
+    lock / barrier waits, fork — no token, chunks or commits).
 
     [observer] receives happens-before events in simulated wall-clock
     order: [Release]/[Acquire] edges for every sync operation, and

@@ -31,8 +31,8 @@ val run :
     deterministic runtimes the stream follows the global token order and
     is seed-invariant; under [Pthreads] it follows simulated wall-clock
     order and varies with the seed for racy programs.  [obs] receives
-    timing spans on any runtime; see {!Det_rt.run} for the
-    determinism-neutrality guarantee. *)
+    timing spans and thread-state intervals on any runtime; see
+    {!Det_rt.run} for the determinism-neutrality guarantee. *)
 
 val best_over_threads :
   runtime ->

@@ -217,6 +217,10 @@ let mk_span ?(name = "s") ?(cat = Obs.Span.Chunk) ?(tid = 0) ~t0 ~t1 () =
 let mk_instant ?(iname = "i") ?(itid = 0) ~itime () =
   { Obs.Span.iname; icat = Obs.Span.Sync; itid; itime }
 
+let mk_state ?(stid = 0) ?(state = Obs.Thread_state.Run) ?(chunk = 0) ?(waker = -1) ~t0 ~t1
+    () =
+  { Obs.Thread_state.stid; state; t0; t1; chunk; waker }
+
 let test_tracer_arrival_order () =
   let tr = Obs.Tracer.create () in
   let sink = Obs.Tracer.sink tr in
@@ -252,10 +256,60 @@ let test_sink_null_and_tee () =
   check_bool "tracer sink is not null" false (Obs.Sink.is_null (Obs.Tracer.sink a));
   tee.Obs.Sink.span (mk_span ~t0:0 ~t1:5 ());
   tee.Obs.Sink.instant (mk_instant ~itime:1 ());
+  tee.Obs.Sink.state (mk_state ~t0:0 ~t1:5 ());
   check_int "tee -> a spans" 1 (Obs.Tracer.span_count a);
   check_int "tee -> b spans" 1 (Obs.Tracer.span_count b);
   check_int "tee -> a instants" 1 (Obs.Tracer.instant_count a);
-  check_int "tee -> b instants" 1 (Obs.Tracer.instant_count b)
+  check_int "tee -> b instants" 1 (Obs.Tracer.instant_count b);
+  check_int "tee -> a states" 1 (Obs.Tracer.state_count a);
+  check_int "tee -> b states" 1 (Obs.Tracer.state_count b)
+
+let test_tracer_state_channel () =
+  let tr = Obs.Tracer.create () in
+  let sink = Obs.Tracer.sink tr in
+  sink.Obs.Sink.state (mk_state ~stid:3 ~state:Obs.Thread_state.Token_wait ~t0:0 ~t1:10 ());
+  sink.Obs.Sink.state (mk_state ~stid:1 ~state:Obs.Thread_state.Commit ~t0:10 ~t1:15 ());
+  check_int "state count" 2 (Obs.Tracer.state_count tr);
+  Alcotest.(check (list int))
+    "state tids merged into tids" [ 1; 3 ] (Obs.Tracer.tids tr);
+  (match Obs.Tracer.states tr with
+  | [ s1; s2 ] ->
+      check_int "arrival order first" 3 s1.Obs.Thread_state.stid;
+      check_int "arrival order second" 1 s2.Obs.Thread_state.stid
+  | l -> Alcotest.failf "expected 2 states, got %d" (List.length l));
+  Obs.Tracer.clear tr;
+  check_int "cleared" 0 (Obs.Tracer.state_count tr)
+
+let test_counter_events () =
+  (* Two states on one thread over [0,100): the counter track must
+     bucket the occupancy and conserve total ns across buckets. *)
+  let states =
+    [
+      mk_state ~stid:0 ~state:Obs.Thread_state.Run ~t0:0 ~t1:60 ();
+      mk_state ~stid:0 ~state:Obs.Thread_state.Commit ~t0:60 ~t1:100 ();
+    ]
+  in
+  let evs = Obs.Chrome_trace.counter_events ~buckets:4 states in
+  check_bool "has counter events" true (evs <> []);
+  let total = ref 0 in
+  List.iter
+    (fun ev ->
+      (match Option.bind (Obs.Json.member "ph" ev) Obs.Json.to_string_opt with
+      | Some "C" -> ()
+      | _ -> Alcotest.fail "counter event must have ph=C");
+      match Option.bind (Obs.Json.member "args" ev) (fun a ->
+          match a with Obs.Json.Obj kvs -> Some kvs | _ -> None)
+      with
+      | Some kvs ->
+          List.iter
+            (fun (_, v) ->
+              match Obs.Json.to_int_opt v with
+              | Some ns -> total := !total + ns
+              | None -> Alcotest.fail "counter args must be ints")
+            kvs
+      | None -> Alcotest.fail "counter event without args")
+    evs;
+  check_int "occupancy conserved across buckets" 100 !total
 
 let test_span_duration () =
   check_int "duration" 42 (Obs.Span.duration (mk_span ~t0:8 ~t1:50 ()))
@@ -313,6 +367,18 @@ let check_chrome_schema json =
           | Some t -> Hashtbl.replace used_tids t ()
           | None -> Alcotest.fail "i event without tid");
           ()
+      | "C" ->
+          (* counter tracks (thread-state occupancy per window) *)
+          let ts = Option.bind (get "ts" ev) Obs.Json.to_float_opt in
+          check_bool "C has ts >= 0" true (match ts with Some t -> t >= 0.0 | None -> false);
+          (match get "args" ev with
+          | Some (Obs.Json.Obj kvs) ->
+              List.iter
+                (fun (_, v) ->
+                  check_bool "C arg is a non-negative int" true
+                    (match Obs.Json.to_int_opt v with Some n -> n >= 0 | None -> false))
+                kvs
+          | _ -> Alcotest.fail "C event without args object")
       | other -> Alcotest.failf "unexpected ph %S" other)
     events;
   Hashtbl.iter
@@ -409,6 +475,8 @@ let () =
           Alcotest.test_case "tids sorted distinct" `Quick test_tracer_tids_sorted_distinct;
           Alcotest.test_case "clear" `Quick test_tracer_clear;
           Alcotest.test_case "null and tee" `Quick test_sink_null_and_tee;
+          Alcotest.test_case "state channel" `Quick test_tracer_state_channel;
+          Alcotest.test_case "counter events" `Quick test_counter_events;
           Alcotest.test_case "span duration" `Quick test_span_duration;
         ] );
       ( "chrome-trace",
