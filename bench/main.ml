@@ -23,7 +23,7 @@ let section_names =
   [
     "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "determinism"; "tso";
     "races"; "climit"; "soundness"; "locking"; "chunking"; "micro"; "sched"; "replay";
-    "profile";
+    "profile"; "commit";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -223,7 +223,10 @@ let sched_tests () =
               ignore (Sim.Heap.pop_min_exn h)
             done))
   in
-  [ token_cycle; token_handoff; gmic_at 2; gmic_at 8; gmic_at 32; gmic_at 64; heap_typed ]
+  [
+    token_cycle; token_handoff; gmic_at 2; gmic_at 8; gmic_at 32; gmic_at 64; gmic_at 128;
+    gmic_at 256; heap_typed;
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Record/replay microbenchmarks                                      *)
@@ -437,6 +440,10 @@ let run_section ~threads name =
         in
         Obs.Json.Obj [ ("figure", figure); ("micro", micro) ]
     | "profile" -> fig (fun () -> Figures.Profile_report.run ())
+    (* The commit sweep always runs its full 8..256-thread range: the
+       whole point is the high-thread-count regime, and the simulations
+       are cheap (a commit-bound microbenchmark, not a figure sweep). *)
+    | "commit" -> fig (fun () -> Figures.Commit_report.run ())
     | other ->
         Printf.eprintf "unknown section %S; available: %s\n" other
           (String.concat " " section_names);

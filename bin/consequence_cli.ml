@@ -23,6 +23,7 @@ let runtime_of_string = function
   | "dwc" -> Ok Runtime.Run.dwc
   | "consequence-rr" | "rr" -> Ok Runtime.Run.consequence_rr
   | "consequence-ic" | "ic" | "consequence" -> Ok Runtime.Run.consequence_ic
+  | "consequence-pipe" | "pipe" -> Ok (Runtime.Run.Det Runtime.Config.consequence_pipe)
   | s -> Error (`Msg (Printf.sprintf "unknown runtime %S" s))
 
 let runtime_conv =
@@ -32,7 +33,9 @@ let runtime_conv =
 
 let runtime_arg =
   let doc =
-    "Threading library: pthreads, dthreads, dwc, consequence-rr, consequence-ic."
+    "Threading library: pthreads, dthreads, dwc, consequence-rr, consequence-ic, \
+     consequence-pipe (consequence-ic with pipelined sharded commit and incremental GC; \
+     witness-identical to consequence-ic)."
   in
   Arg.(value & opt runtime_conv Runtime.Run.consequence_ic & info [ "r"; "runtime" ] ~doc)
 

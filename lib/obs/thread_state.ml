@@ -10,9 +10,13 @@ type t =
   | Runtime
   | Fork
   | Gc
+  | Commit_pipe
 
 let all =
-  [ Run; Token_wait; Lock_wait; Barrier_wait; Commit; Update; Fault; Overflow; Runtime; Fork; Gc ]
+  [
+    Run; Token_wait; Lock_wait; Barrier_wait; Commit; Update; Fault; Overflow; Runtime; Fork;
+    Gc; Commit_pipe;
+  ]
 
 let n = List.length all
 
@@ -28,6 +32,7 @@ let index = function
   | Runtime -> 8
   | Fork -> 9
   | Gc -> 10
+  | Commit_pipe -> 11
 
 let of_index = function
   | 0 -> Run
@@ -41,6 +46,7 @@ let of_index = function
   | 8 -> Runtime
   | 9 -> Fork
   | 10 -> Gc
+  | 11 -> Commit_pipe
   | i -> invalid_arg (Printf.sprintf "Thread_state.of_index %d" i)
 
 let name = function
@@ -55,6 +61,7 @@ let name = function
   | Runtime -> "runtime"
   | Fork -> "fork"
   | Gc -> "gc"
+  | Commit_pipe -> "commit_pipe"
 
 let is_wait = function Token_wait | Lock_wait | Barrier_wait -> true | _ -> false
 

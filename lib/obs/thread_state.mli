@@ -29,7 +29,12 @@
     - [Gc]: version garbage collection.  Zero under the default cost
       model: Conversion's budgeted collector runs off the critical path
       (its {e memory} cost shows up in [peak_mem_pages] instead), but
-      the state exists so alternative cost models can charge it. *)
+      the state exists so alternative cost models can charge it;
+    - [Commit_pipe]: the drained phase of a pipelined commit — the bulk
+      install/merge work charged {e after} the global is released, so it
+      overlaps the execution of other threads' next chunks (feeds the
+      same Breakdown [Commit] category as [Commit], so breakdown totals
+      are placement-independent). *)
 
 type t =
   | Run
@@ -43,6 +48,7 @@ type t =
   | Runtime
   | Fork
   | Gc
+  | Commit_pipe
 
 val all : t list
 (** In {!index} order. *)

@@ -30,7 +30,29 @@ type row = {
   stream_reordered : bool;  (** same witnesses, shuffled event stream *)
 }
 
-type t = { runtime_name : string; base_wall_ns : int; rows : row list }
+type pipelined = {
+  pipe_wall_ns : int;  (** measured wall under pipelined sharded commit *)
+  pipe_speedup : float;  (** recorded wall / pipelined wall *)
+  commit_free_wall_ns : int;  (** the commit-free scenario's projected wall *)
+  remaining_gap : float;
+      (** pipelined wall / commit-free wall: how far the implemented
+          optimization remains from the projection's floor (1.0 = all
+          commit-attributed headroom captured) *)
+  pipe_witness_ok : bool;  (** pipelined run reproduced the witnesses *)
+}
+
+type t = {
+  runtime_name : string;
+  base_wall_ns : int;
+  rows : row list;
+  pipelined : pipelined option;
+      (** Populated when the recorded runtime is a deterministic config
+          without [pipelined_commit]: the same workload is re-run (not
+          replayed) under {!Runtime.Config.with_pipelined_commit} + 8
+          commit shards, giving the {e measured} counterpart to the
+          commit-free {e projection} and the remaining gap between
+          them. *)
+}
 
 val scenarios : (string * string * (Runtime.Cost_model.t -> Runtime.Cost_model.t)) list
 (** The scenario registry: (name, description, cost transform). *)

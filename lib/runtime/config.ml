@@ -21,6 +21,9 @@ type t = {
   polling_locks : int option;
   counter_jitter_ppm : int;
   gc_budgeted : bool;
+  pipelined_commit : bool;
+  commit_shards : int;
+  incremental_gc : bool;
   coarsen_max_initial : int;
   coarsen_max_floor : int;
   coarsen_max_cap : int;
@@ -46,6 +49,9 @@ let base =
     polling_locks = None;
     counter_jitter_ppm = 0;
     gc_budgeted = true;
+    pipelined_commit = false;
+    commit_shards = 1;
+    incremental_gc = false;
     coarsen_max_initial = 300_000;
     coarsen_max_floor = 10_000;
     coarsen_max_cap = 2_000_000;
@@ -83,6 +89,21 @@ let dthreads =
     gc_budgeted = false;
   }
 
+(* The scaled commit path of this repro's parallel-commit work: sealed
+   write-sets published under the token with the install/merge charged
+   after the release, page-range-sharded installs, and the incremental
+   per-shard collector.  Witness-identical to consequence_ic (only cost
+   placement moves); kept out of {!presets} so the four-library figure
+   sweeps are unchanged. *)
+let consequence_pipe =
+  {
+    base with
+    name = "consequence-pipe";
+    pipelined_commit = true;
+    commit_shards = 8;
+    incremental_gc = true;
+  }
+
 let presets = [ dthreads; dwc; consequence_rr; consequence_ic ]
 
 let with_name t name = { t with name }
@@ -106,6 +127,14 @@ let with_chunk_limit t n = { t with name = Printf.sprintf "%s-climit%d" t.name n
 let with_polling_locks t ~increment =
   { t with name = Printf.sprintf "%s-poll%d" t.name increment; polling_locks = Some increment }
 let with_counter_jitter t ~ppm = { t with name = t.name ^ "-cjitter"; counter_jitter_ppm = ppm }
+
+let with_pipelined_commit t = { t with name = t.name ^ "-pipe"; pipelined_commit = true }
+
+let with_commit_shards t n =
+  if n < 1 then invalid_arg "Config.with_commit_shards: shards must be >= 1";
+  { t with name = Printf.sprintf "%s-shard%d" t.name n; commit_shards = n }
+
+let with_incremental_gc t = { t with name = t.name ^ "-incgc"; incremental_gc = true }
 
 let with_scripted_schedule t ~boundaries =
   { t with name = t.name ^ "-replay"; scheduling = Scripted boundaries }

@@ -76,6 +76,27 @@ type t = {
       (** true = Conversion's rate-limited single-threaded GC (Fig 12);
           false = snapshots reclaimed eagerly (DThreads-style accounting,
           which keeps only the live image plus twins) *)
+  pipelined_commit : bool;
+      (** pipeline commits with execution: the token holder seals and
+          publishes its write-set (charged per page at
+          [commit_seal_page_ns] while holding the global) and releases
+          immediately; the bulk install/merge is charged after the
+          release as a {!Obs.Thread_state.Commit_pipe} interval, so the
+          twin-diff/merge of chunk N overlaps execution of chunk N+1.
+          The installed {e data} still lands at the token hold (version
+          order is unchanged), so witnesses, merges, conflict capture
+          and commit digests are byte-identical to the serial path. *)
+  commit_shards : int;
+      (** split the segment into this many contiguous page-range shards
+          with independent live accounting, GC cursors and locks;
+          commits whose footprint spans several shards install in
+          parallel (real domains for large commits, and the pipelined
+          install cost is the max over shards rather than the sum).
+          1 = unsharded (the default). *)
+  incremental_gc : bool;
+      (** replace the single rate-limited GC sweep with the incremental
+          per-shard collector: bounded steps ([gc_step_pages]) that run
+          in commit slack (at every pipelined-commit drain point) *)
   coarsen_max_initial : int;  (** initial adaptive max coarsened-chunk length *)
   coarsen_max_floor : int;
   coarsen_max_cap : int;
@@ -87,6 +108,12 @@ val dthreads : t
 val dwc : t
 val consequence_rr : t
 val consequence_ic : t
+
+val consequence_pipe : t
+(** {!consequence_ic} with [pipelined_commit], 8 [commit_shards] and
+    [incremental_gc] — the scaled commit path.  Witness-identical to
+    {!consequence_ic} by construction (only cost placement changes);
+    not part of {!presets}. *)
 
 val presets : t list
 (** The four deterministic libraries of Fig 10, in display order. *)
@@ -102,6 +129,10 @@ val without_thread_pool : t -> t
 val with_chunk_limit : t -> int -> t
 val with_polling_locks : t -> increment:int -> t
 val with_counter_jitter : t -> ppm:int -> t
+
+val with_pipelined_commit : t -> t
+val with_commit_shards : t -> int -> t
+val with_incremental_gc : t -> t
 
 val with_scripted_schedule : t -> boundaries:int array array -> t
 (** Replay a recorded schedule: force per-thread chunk boundaries at the

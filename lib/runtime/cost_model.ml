@@ -9,6 +9,7 @@ type t = {
   commit_base_ns : int;
   update_base_ns : int;
   barrier_phase1_page_ns : int;
+  commit_seal_page_ns : int;
   token_ns : int;
   counter_read_syscall_ns : int;
   counter_read_user_ns : int;
@@ -19,6 +20,7 @@ type t = {
   fork_page_ns : int;
   pool_reuse_ns : int;
   gc_pages_per_ms : int;
+  gc_step_pages : int;
   pthread_lock_ns : int;
   pthread_unlock_ns : int;
   pthread_barrier_ns : int;
@@ -40,6 +42,7 @@ let default =
     commit_base_ns = 5_000;
     update_base_ns = 2_500;
     barrier_phase1_page_ns = 60;
+    commit_seal_page_ns = 80;
     token_ns = 150;
     counter_read_syscall_ns = 1_100;
     counter_read_user_ns = 60;
@@ -50,6 +53,7 @@ let default =
     fork_page_ns = 60;
     pool_reuse_ns = 1_800;
     gc_pages_per_ms = 800;
+    gc_step_pages = 64;
     pthread_lock_ns = 60;
     pthread_unlock_ns = 45;
     pthread_barrier_ns = 500;

@@ -24,6 +24,10 @@ type t = {
   update_base_ns : int;  (** fixed syscall cost of an update *)
   barrier_phase1_page_ns : int;
       (** serial part of Conversion's two-phase commit, per page *)
+  commit_seal_page_ns : int;
+      (** per-page cost of sealing a pipelined commit's write-set while
+          holding the global (ordering + publishing the sealed set); the
+          bulk install/merge is charged after the release *)
   token_ns : int;  (** token acquire/release bookkeeping *)
   counter_read_syscall_ns : int;  (** reading the perf counter via the kernel *)
   counter_read_user_ns : int;  (** user-space counter read (section 3.4) *)
@@ -34,6 +38,9 @@ type t = {
   fork_page_ns : int;  (** copying one populated page-table entry on fork *)
   pool_reuse_ns : int;  (** recycling a pooled thread (section 3.3) *)
   gc_pages_per_ms : int;  (** Conversion's single-threaded GC reclaim rate *)
+  gc_step_pages : int;
+      (** hard bound on pages scanned per incremental-GC step (the
+          per-step work limit of the concurrent collector) *)
   pthread_lock_ns : int;
   pthread_unlock_ns : int;
   pthread_barrier_ns : int;

@@ -76,6 +76,12 @@ type thread_state = {
          work stay in the same serial phase (as real DThreads' serial
          phase processes a thread's back-to-back ops under one token
          hold). The turn is surrendered as soon as user work executes. *)
+  mutable pipe_pending_ns : int;
+      (* Pipelined commit: bulk install/merge cost sealed under the token
+         but not yet charged.  Drained (as a Commit_pipe interval) at the
+         next [release_global], i.e. right after the token is handed on,
+         so it overlaps the next chunk's execution on other threads.
+         Accumulates across a coarsened chunk's deferred commits. *)
 }
 
 type cond_rec = { cond_waitq : int Queue.t }
@@ -143,6 +149,13 @@ type t = {
   (* Interned metric handles: the hot paths record through these instead
      of string-keyed lookups (one hashtable probe per sync op adds up). *)
   mh : metric_handles;
+  (* Per-shard commit histograms ([shard<i>_commit_ns]/[_pages]), interned
+     once at [run] when the segment is sharded (empty otherwise), plus a
+     reused scratch for per-shard footprint counts — the commit path stays
+     allocation-free at any shard count. *)
+  mh_shard_commit_ns : Obs.Metrics.histogram array;
+  mh_shard_commit_pages : Obs.Metrics.histogram array;
+  shard_scratch : int array;
 }
 
 and metric_handles = {
@@ -151,6 +164,7 @@ and metric_handles = {
   mh_token_hold_ns : Obs.Metrics.histogram;
   mh_commit_ns : Obs.Metrics.histogram;
   mh_commit_pages : Obs.Metrics.histogram;
+  mh_commit_pipe_ns : Obs.Metrics.histogram;
   mh_update_ns : Obs.Metrics.histogram;
   mh_lock_wait_ns : Obs.Metrics.histogram;
   mh_barrier_wait_ns : Obs.Metrics.histogram;
@@ -257,7 +271,7 @@ let bd_of_state = function
   | St.Token_wait -> Bd.Determ_wait
   | St.Lock_wait -> Bd.Lock_wait
   | St.Barrier_wait -> Bd.Barrier_wait
-  | St.Commit -> Bd.Commit
+  | St.Commit | St.Commit_pipe -> Bd.Commit
   | St.Update -> Bd.Update
   | St.Fault -> Bd.Page_fault
   | St.Overflow | St.Runtime | St.Gc -> Bd.Library
@@ -365,7 +379,15 @@ let min_base rt =
 
 let gc_and_sample rt =
   let now = Sim.Engine.now rt.eng in
-  (if rt.cfg.gc_budgeted then begin
+  (if rt.cfg.incremental_gc then
+     (* Incremental per-shard collection: one bounded step per commit
+        point (plus one per pipelined-commit drain).  The hard page bound
+        replaces the rate budget — steps are cheap enough to hide in
+        commit slack, so no reclaim-rate ceiling applies. *)
+     ignore
+       (Vmem.Segment.gc_step rt.seg ~min_base:(min_base rt)
+          ~max_pages:rt.costs.Cost_model.gc_step_pages)
+   else if rt.cfg.gc_budgeted then begin
      (* Conversion's single-threaded collector reclaims at a bounded rate;
         allocation bursts outpace it (Fig 12). *)
      let elapsed = now - rt.last_gc_ns in
@@ -518,16 +540,69 @@ let emit_commit_hash rt th (ci : Vmem.Workspace.commit_info) =
     emit rt
       (Rt_event.Commit_hash { tid = th.tid; version = ci.version; hash = commit_digest rt ci })
 
+(* Per-shard footprint of a commit (into the reused scratch, no
+   allocation): records the per-shard histograms and returns the largest
+   single-shard page count — the install critical path when the shards
+   install concurrently.  Equals the total footprint when unsharded, so
+   the sharded cost formula degenerates to the serial one at 1 shard. *)
+let shard_footprint rt (ci : Vmem.Workspace.commit_info) =
+  let nsh = Vmem.Segment.shards rt.seg in
+  if nsh <= 1 || Array.length rt.mh_shard_commit_pages < nsh then ci.pages_committed
+  else begin
+    let scratch = rt.shard_scratch in
+    Array.fill scratch 0 nsh 0;
+    List.iter
+      (fun p ->
+        let s = Vmem.Segment.shard_of_page rt.seg p in
+        scratch.(s) <- scratch.(s) + 1)
+      ci.committed_pages;
+    let max_pages = ref 0 in
+    for s = 0 to nsh - 1 do
+      if scratch.(s) > 0 then begin
+        Obs.Metrics.record rt.mh_shard_commit_pages.(s) scratch.(s);
+        Obs.Metrics.record rt.mh_shard_commit_ns.(s)
+          (int_of_float
+             (float_of_int (scratch.(s) * rt.costs.Cost_model.page_commit_ns)
+             *. rt.cfg.commit_cost_mult));
+        if scratch.(s) > !max_pages then max_pages := scratch.(s)
+      end
+    done;
+    !max_pages
+  end
+
 let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
   if ci.pages_committed > 0 then begin
     let t0 = Sim.Engine.now rt.eng in
     let c = rt.costs in
-    let ns =
-      c.Cost_model.commit_base_ns
-      + (ci.pages_committed * c.Cost_model.page_commit_ns)
-      + (ci.pages_merged * c.Cost_model.page_merge_ns)
-    in
-    charge rt th St.Commit (int_of_float (float_of_int ns *. rt.cfg.commit_cost_mult));
+    (* With a sharded segment the per-page installs proceed one shard per
+       worker, so the install term is the largest single-shard footprint;
+       merges stay summed (the merge scan is the committer's own work). *)
+    let install_pages = shard_footprint rt ci in
+    (if rt.cfg.pipelined_commit then begin
+       (* Phase 1, under the global: order the commit and seal/publish the
+          write-set — only the cheap per-page sealing is serial.  The bulk
+          install/merge cost is stashed and charged as a Commit_pipe
+          interval right after the release (see [release_global]), so it
+          overlaps the next chunk's execution elsewhere.  Only the cost
+          moves: the data was installed above, inside the token hold, so
+          version order, merges and digests are untouched. *)
+       let seal_ns =
+         c.Cost_model.commit_base_ns + (ci.pages_committed * c.Cost_model.commit_seal_page_ns)
+       in
+       charge rt th St.Commit (int_of_float (float_of_int seal_ns *. rt.cfg.commit_cost_mult));
+       th.pipe_pending_ns <-
+         th.pipe_pending_ns
+         + (install_pages * c.Cost_model.page_commit_ns)
+         + (ci.pages_merged * c.Cost_model.page_merge_ns)
+     end
+     else begin
+       let ns =
+         c.Cost_model.commit_base_ns
+         + (install_pages * c.Cost_model.page_commit_ns)
+         + (ci.pages_merged * c.Cost_model.page_merge_ns)
+       in
+       charge rt th St.Commit (int_of_float (float_of_int ns *. rt.cfg.commit_cost_mult))
+     end);
     Obs.Metrics.record rt.mh.mh_commit_ns (Sim.Engine.now rt.eng - t0);
     Obs.Metrics.record rt.mh.mh_commit_pages ci.pages_committed;
     if tracing rt then
@@ -669,6 +744,30 @@ let acquire_global rt th =
   th.prof_waker <- -1;
   th.token_t0 <- Sim.Engine.now rt.eng
 
+(* Drain a pipelined commit's deferred bulk cost, as a Commit_pipe
+   interval stamped right after the global moved on — this is the point
+   where the install/merge of chunk N overlaps execution of chunk N+1.
+   Safe to relocate: token eligibility is decided purely from published
+   logical clocks (never from simulated time), so charging here cannot
+   change the synchronization order — the same argument that sanctions
+   the parallel barrier's phase 2.  TSO visibility holds because the
+   data itself was installed under the token; only its cost lands here.
+   The incremental collector also steps here: the drain IS the commit
+   slack the collector is meant to hide in. *)
+let drain_pipe rt th =
+  if th.pipe_pending_ns > 0 then begin
+    let ns = int_of_float (float_of_int th.pipe_pending_ns *. rt.cfg.commit_cost_mult) in
+    th.pipe_pending_ns <- 0;
+    let t0 = Sim.Engine.now rt.eng in
+    charge rt th St.Commit_pipe ns;
+    Obs.Metrics.record rt.mh.mh_commit_pipe_ns (Sim.Engine.now rt.eng - t0);
+    span rt ~cat:Obs.Span.Commit ~name:"commit-pipe" ~tid:th.tid ~t0 ();
+    if rt.cfg.incremental_gc then
+      ignore
+        (Vmem.Segment.gc_step rt.seg ~min_base:(min_base rt)
+           ~max_pages:rt.costs.Cost_model.gc_step_pages)
+  end
+
 let release_global rt th =
   if th.token_t0 >= 0 then begin
     Obs.Metrics.record rt.mh.mh_token_hold_ns (Sim.Engine.now rt.eng - th.token_t0);
@@ -679,7 +778,8 @@ let release_global rt th =
   else begin
     Tok.release rt.token ~tid:th.tid;
     rt.prof_enabler <- th.tid
-  end
+  end;
+  drain_pipe rt th
 
 (* Surrender a deferred serial turn (before running user work, parking,
    or exiting). *)
@@ -1341,6 +1441,7 @@ and new_thread_state rt ~tid ~name ~inherit_count =
     prof_chunk = 0;
     prof_waker = -1;
     serial_sticky = false;
+    pipe_pending_ns = 0;
     race_epoch = 1;
     chunk_epoch = 1;
   }
@@ -1455,6 +1556,8 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
     Vmem.Segment.create ~name:program.Api.name ~pages:program.Api.heap_pages
       ~page_size:program.Api.page_size ()
   in
+  if cfg.Config.commit_shards > 1 then Vmem.Segment.set_shards seg cfg.Config.commit_shards;
+  let nshards = Vmem.Segment.shards seg in
   let clocks = Lc.create () in
   let ordering =
     match cfg.Config.ordering with
@@ -1502,6 +1605,7 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
           mh_token_hold_ns = Obs.Metrics.histogram metrics "token_hold_ns";
           mh_commit_ns = Obs.Metrics.histogram metrics "commit_ns";
           mh_commit_pages = Obs.Metrics.histogram metrics "commit_pages";
+          mh_commit_pipe_ns = Obs.Metrics.histogram metrics "commit_pipe_ns";
           mh_update_ns = Obs.Metrics.histogram metrics "update_ns";
           mh_lock_wait_ns = Obs.Metrics.histogram metrics "lock_wait_ns";
           mh_barrier_wait_ns = Obs.Metrics.histogram metrics "barrier_wait_ns";
@@ -1518,6 +1622,17 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
           mh_op_broadcast = Obs.Metrics.counter metrics "op:broadcast";
           mh_op_forced_commit = Obs.Metrics.counter metrics "op:forced-commit";
         };
+      mh_shard_commit_ns =
+        (if nshards <= 1 then [||]
+         else
+           Array.init nshards (fun s ->
+               Obs.Metrics.histogram metrics (Printf.sprintf "shard%d_commit_ns" s)));
+      mh_shard_commit_pages =
+        (if nshards <= 1 then [||]
+         else
+           Array.init nshards (fun s ->
+               Obs.Metrics.histogram metrics (Printf.sprintf "shard%d_commit_pages" s)));
+      shard_scratch = Array.make nshards 0;
     }
   in
   let main_state = new_thread_state rt ~tid:0 ~name:"main" ~inherit_count:0 in

@@ -65,7 +65,7 @@ let bd_of_state = function
   | St.Token_wait -> Bd.Determ_wait
   | St.Lock_wait -> Bd.Lock_wait
   | St.Barrier_wait -> Bd.Barrier_wait
-  | St.Commit -> Bd.Commit
+  | St.Commit | St.Commit_pipe -> Bd.Commit
   | St.Update -> Bd.Update
   | St.Fault -> Bd.Page_fault
   | St.Overflow | St.Runtime | St.Gc -> Bd.Library

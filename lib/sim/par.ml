@@ -35,3 +35,163 @@ let map_array f arr =
 let map_list f l = Array.to_list (map_array f (Array.of_list l))
 
 let concat_map f l = List.concat (map_list f l)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent worker pool                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [map_array] spawns fresh domains per call, which is fine for figure
+   sweeps (seconds of work per call) but far too heavy for fine-grained
+   fan-out such as installing the shards of one segment commit
+   (microseconds of work, thousands of calls).  A [pool] keeps its
+   workers parked on a condition variable between jobs, so dispatch
+   costs a broadcast instead of k Domain.spawn. *)
+
+type pool = {
+  pm : Mutex.t;  (* protects gen / stop and the two condition variables *)
+  job_m : Mutex.t;  (* serializes submitters; try_run refuses instead of queueing *)
+  cv_work : Condition.t;
+  cv_done : Condition.t;
+  mutable fn : int -> unit;
+  mutable count : int;
+  next : int Atomic.t;
+  pending : int Atomic.t;  (* indices not yet completed in the current job *)
+  mutable gen : int;
+  mutable stop : bool;
+  err : exn option Atomic.t;
+  mutable domains : unit Domain.t array;
+}
+
+(* Claim and run indices until the current job is exhausted.  Exceptions
+   are captured (first wins) and re-raised by the submitter; every
+   claimed index still counts as completed so the job always drains. *)
+let pool_work p =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add p.next 1 in
+    if i >= p.count then continue := false
+    else begin
+      (try p.fn i
+       with e -> ignore (Atomic.compare_and_set p.err None (Some e)));
+      if Atomic.fetch_and_add p.pending (-1) = 1 then begin
+        Mutex.lock p.pm;
+        Condition.broadcast p.cv_done;
+        Mutex.unlock p.pm
+      end
+    end
+  done
+
+let pool_worker p =
+  let last_gen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock p.pm;
+    while p.gen = !last_gen && not p.stop do
+      Condition.wait p.cv_work p.pm
+    done;
+    let stop = p.stop in
+    last_gen := p.gen;
+    Mutex.unlock p.pm;
+    if stop then running := false else pool_work p
+  done
+
+let create_pool ?workers () =
+  let workers =
+    match workers with Some w -> max 0 w | None -> max 0 (default_jobs () - 1)
+  in
+  let p =
+    {
+      pm = Mutex.create ();
+      job_m = Mutex.create ();
+      cv_work = Condition.create ();
+      cv_done = Condition.create ();
+      fn = ignore;
+      count = 0;
+      next = Atomic.make 0;
+      pending = Atomic.make 0;
+      gen = 0;
+      stop = false;
+      err = Atomic.make None;
+      domains = [||];
+    }
+  in
+  p.domains <- Array.init workers (fun _ -> Domain.spawn (fun () -> pool_worker p));
+  p
+
+let pool_size p = Array.length p.domains + 1
+
+(* Run the job while holding [job_m]: publish it, wake the workers, work
+   alongside them, then wait until every index has completed (not merely
+   been claimed) so the next job can safely reuse the slots. *)
+let pool_dispatch p n f =
+  p.fn <- f;
+  p.count <- n;
+  Atomic.set p.next 0;
+  Atomic.set p.pending n;
+  Atomic.set p.err None;
+  Mutex.lock p.pm;
+  p.gen <- p.gen + 1;
+  Condition.broadcast p.cv_work;
+  Mutex.unlock p.pm;
+  pool_work p;
+  Mutex.lock p.pm;
+  while Atomic.get p.pending > 0 do
+    Condition.wait p.cv_done p.pm
+  done;
+  Mutex.unlock p.pm;
+  p.fn <- ignore;
+  match Atomic.get p.err with Some e -> raise e | None -> ()
+
+let run_pool p n f =
+  if n > 0 then
+    if Array.length p.domains = 0 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      Mutex.lock p.job_m;
+      Fun.protect ~finally:(fun () -> Mutex.unlock p.job_m) (fun () -> pool_dispatch p n f)
+    end
+
+let try_run_pool p n f =
+  if n <= 0 then true
+  else if Array.length p.domains = 0 then false
+  else if not (Mutex.try_lock p.job_m) then false
+  else begin
+    Fun.protect ~finally:(fun () -> Mutex.unlock p.job_m) (fun () -> pool_dispatch p n f);
+    true
+  end
+
+let shutdown_pool p =
+  Mutex.lock p.job_m;
+  Mutex.lock p.pm;
+  p.stop <- true;
+  Condition.broadcast p.cv_work;
+  Mutex.unlock p.pm;
+  Array.iter Domain.join p.domains;
+  p.domains <- [||];
+  Mutex.unlock p.job_m
+
+(* Process-wide shared pool, created on first use and shut down at exit
+   so no worker domain outlives the program.  Capped: the pool exists
+   for small structured fan-outs (per-shard installs), not sweeps. *)
+let shared = ref None
+let shared_m = Mutex.create ()
+
+let shared_pool () =
+  Mutex.lock shared_m;
+  let p =
+    match !shared with
+    | Some p -> p
+    | None ->
+        let p = create_pool ~workers:(min 7 (max 0 (default_jobs () - 1))) () in
+        shared := Some p;
+        at_exit (fun () ->
+            Mutex.lock shared_m;
+            (match !shared with Some p -> shutdown_pool p | None -> ());
+            shared := None;
+            Mutex.unlock shared_m);
+        p
+  in
+  Mutex.unlock shared_m;
+  p

@@ -29,6 +29,15 @@ type t = {
      Replaces a per-call hashtable with zero allocation. *)
   seen_gen : int array;
   mutable gen : int;
+  (* Contiguous page-range shards with independent live accounting, GC
+     cursors and locks.  Version numbering and the [versions] log stay
+     global — shards parallelize the page-snapshot *installs* and the
+     collector, never the total store order. *)
+  mutable nshards : int;
+  mutable shard_live : int array;  (* live snapshots per shard; sums to [live] *)
+  mutable shard_cursor : int array;  (* GC resume point, relative to shard start *)
+  mutable shard_locks : Mutex.t array;
+  mutable gc_shard : int;  (* next shard the incremental collector steps *)
 }
 
 let hist_create () = { vs = [||]; ps = [||]; off = 0; len = 0 }
@@ -90,12 +99,36 @@ let create ?(name = "segment") ~pages ~page_size () =
     gc_cursor = 0;
     seen_gen = Array.make pages 0;
     gen = 0;
+    nshards = 1;
+    shard_live = [| 0 |];
+    shard_cursor = [| 0 |];
+    shard_locks = [| Mutex.create () |];
+    gc_shard = 0;
   }
 
 let name t = t.name
 let page_count t = t.npages
 let page_size t = t.page_size
 let current_version t = Sim.Vec.length t.versions
+let shards t = t.nshards
+
+(* Contiguous ranges: page [i] belongs to shard [i * nshards / npages],
+   so shard [s] covers [ceil(s*npages/n), ceil((s+1)*npages/n)). *)
+let shard_of_page t i = i * t.nshards / t.npages
+let shard_start t s = (s * t.npages + t.nshards - 1) / t.nshards
+
+let set_shards t n =
+  if n < 1 then invalid_arg (Printf.sprintf "Segment %s: shards must be >= 1" t.name);
+  let n = min n t.npages in
+  t.nshards <- n;
+  t.shard_live <- Array.make n 0;
+  t.shard_cursor <- Array.make n 0;
+  t.shard_locks <- Array.init n (fun _ -> Mutex.create ());
+  t.gc_shard <- 0;
+  for i = 0 to t.npages - 1 do
+    let s = shard_of_page t i in
+    t.shard_live.(s) <- t.shard_live.(s) + t.histories.(i).len
+  done
 
 let check_page t i =
   if i < 0 || i >= t.npages then
@@ -111,6 +144,49 @@ let last_mod t i =
   check_page t i;
   t.last_mod_arr.(i)
 
+let install_page t vnum (i, page) =
+  if Bytes.length page <> t.page_size then
+    invalid_arg (Printf.sprintf "Segment %s: bad page size in commit" t.name);
+  hist_append t.histories.(i) ~zero:t.zero vnum page;
+  t.last_mod_arr.(i) <- vnum
+
+(* Below this many pages the pool's dispatch broadcast costs more than
+   the installs it would spread. *)
+let parallel_install_threshold = 64
+
+(* Install a multi-shard footprint with one pool worker per shard.  Page
+   indices within a commit are distinct, so workers touch disjoint
+   histories; each worker owns its shard's live counter (under the shard
+   lock, so installs remain safe if commits ever arrive from several
+   domains).  Refuses — caller falls back to the serial loop — when the
+   shared pool is busy with another job. *)
+let install_sharded t vnum pages npages_committed =
+  let groups = Array.make t.nshards [] in
+  let nonempty = ref 0 in
+  List.iter
+    (fun ((i, _) as pg) ->
+      let s = shard_of_page t i in
+      if groups.(s) = [] then incr nonempty;
+      groups.(s) <- pg :: groups.(s))
+    pages;
+  !nonempty > 1
+  && Sim.Par.try_run_pool (Sim.Par.shared_pool ()) t.nshards (fun s ->
+         match groups.(s) with
+         | [] -> ()
+         | g ->
+             Mutex.lock t.shard_locks.(s);
+             Fun.protect
+               ~finally:(fun () -> Mutex.unlock t.shard_locks.(s))
+               (fun () ->
+                 List.iter
+                   (fun pg ->
+                     install_page t vnum pg;
+                     t.shard_live.(s) <- t.shard_live.(s) + 1)
+                   g))
+  &&
+  (t.live <- t.live + npages_committed;
+   true)
+
 let commit t ~committer ~pages =
   let vnum = current_version t + 1 in
   let idxs = Array.of_list (List.map fst pages) in
@@ -122,14 +198,19 @@ let commit t ~committer ~pages =
         invalid_arg (Printf.sprintf "Segment %s: duplicate page %d in commit" t.name i);
       t.seen_gen.(i) <- t.gen)
     idxs;
-  List.iter
-    (fun (i, page) ->
-      if Bytes.length page <> t.page_size then
-        invalid_arg (Printf.sprintf "Segment %s: bad page size in commit" t.name);
-      hist_append t.histories.(i) ~zero:t.zero vnum page;
-      t.last_mod_arr.(i) <- vnum;
-      t.live <- t.live + 1)
-    pages;
+  let npages_committed = Array.length idxs in
+  let installed_parallel =
+    t.nshards > 1
+    && npages_committed >= parallel_install_threshold
+    && install_sharded t vnum pages npages_committed
+  in
+  if not installed_parallel then
+    List.iter
+      (fun ((i, _) as pg) ->
+        install_page t vnum pg;
+        t.shard_live.(shard_of_page t i) <- t.shard_live.(shard_of_page t i) + 1;
+        t.live <- t.live + 1)
+      pages;
   Sim.Vec.push t.versions { committer; page_idxs = idxs };
   vnum
 
@@ -203,6 +284,8 @@ let gc_page t ~min_base i =
     h.off <- k;
     h.len <- h.len - dropped;
     t.live <- t.live - dropped;
+    let s = shard_of_page t i in
+    t.shard_live.(s) <- t.shard_live.(s) - dropped;
     dropped
   end
 
@@ -221,6 +304,39 @@ let gc t ~min_base ~budget =
     incr scanned
   done;
   !reclaimed
+  end
+
+(* One step of the incremental per-shard collector: scan at most
+   [max_pages] pages of the next shard that still holds live snapshots,
+   resuming where that shard's cursor left off.  Unlike {!gc}, the work
+   bound is on pages *scanned*, not snapshots reclaimed — each step has a
+   hard cost ceiling regardless of how much garbage it finds, which is
+   what lets the runtime hide steps in commit slack. *)
+let gc_step t ~min_base ~max_pages =
+  if max_pages <= 0 || t.live = 0 then 0
+  else begin
+    let n = t.nshards in
+    let s = ref t.gc_shard and tried = ref 0 in
+    while !tried < n && t.shard_live.(!s) = 0 do
+      s := (!s + 1) mod n;
+      incr tried
+    done;
+    if !tried = n then 0
+    else begin
+      let shard = !s in
+      t.gc_shard <- (shard + 1) mod n;
+      let start = shard_start t shard in
+      let span = shard_start t (shard + 1) - start in
+      let reclaimed = ref 0 and scanned = ref 0 in
+      let limit = min max_pages span in
+      while !scanned < limit && t.shard_live.(shard) > 0 do
+        let i = start + t.shard_cursor.(shard) in
+        t.shard_cursor.(shard) <- (t.shard_cursor.(shard) + 1) mod span;
+        reclaimed := !reclaimed + gc_page t ~min_base i;
+        incr scanned
+      done;
+      !reclaimed
+    end
   end
 
 let hash t =

@@ -24,6 +24,21 @@ val name : t -> string
 val page_count : t -> int
 val page_size : t -> int
 
+val set_shards : t -> int -> unit
+(** Split the segment into [n] contiguous page-range shards with
+    independent live accounting, GC cursors and locks (clamped to the
+    page count; raises for [n < 1]).  Sharding changes {e how} installs
+    and collection are scheduled, never what is installed: version
+    numbering, the commit log, reads and digests are identical at any
+    shard count.  Segments start with 1 shard.  May be called at any
+    time; per-shard accounting is recomputed from the histories. *)
+
+val shards : t -> int
+(** Current shard count (1 = unsharded). *)
+
+val shard_of_page : t -> int -> int
+(** Shard owning page [i]: [i * shards / pages] — contiguous ranges. *)
+
 val current_version : t -> version
 (** Newest committed version. *)
 
@@ -38,7 +53,13 @@ val last_mod : t -> int -> version
 val commit : t -> committer:int -> pages:(int * Page.t) list -> version
 (** Install the given page snapshots as a new version and return its
     number.  The segment takes ownership of the snapshot buffers.  Page
-    indices must be distinct and in range. *)
+    indices must be distinct and in range.
+
+    When the segment is sharded and the footprint is large and spans
+    several shards, the installs fan out across the shared
+    {!Sim.Par.pool} (one worker per shard, under the shard locks),
+    falling back to the serial loop when the pool is busy.  Both paths
+    produce byte-identical segment state. *)
 
 val committer_of : t -> version -> int
 (** Thread id recorded for a committed version.  Raises for version 0. *)
@@ -70,6 +91,15 @@ val gc : t -> min_base:version -> budget:int -> int
     The [budget] models Conversion's single-threaded garbage collector,
     which can be outpaced by allocation-heavy programs (paper section 5,
     Fig 12: canneal, lu_ncb). *)
+
+val gc_step : t -> min_base:version -> max_pages:int -> int
+(** One step of the incremental per-shard collector: scan at most
+    [max_pages] pages of the next shard holding live snapshots (rotating
+    over shards, each resuming at its own cursor) and return the
+    snapshots reclaimed.  The bound is on pages {e scanned} — a hard
+    per-step cost ceiling independent of how much garbage is found —
+    which is what lets the runtime run steps in commit slack instead of
+    a rate-limited background sweep.  Obsolescence is as in {!gc}. *)
 
 val hash : t -> string
 (** Hex digest of the full memory image at the current version; the

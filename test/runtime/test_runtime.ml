@@ -772,6 +772,42 @@ let golden_witnesses =
     ("histogram", "dthreads", 7, 8, "mem:2e915ded5ab0a865|sync:9caf76ab585d73da|out:b3703b17bee0ba86");
   ]
 
+(* Parallel-commit on/off: the sharded pipelined commit with incremental
+   GC relocates cost (off the token hold, onto pool workers, into commit
+   slack) but installs the same bytes in the same version order — every
+   registry workload must produce a byte-identical witness with the
+   machinery on, on every deterministic runtime, at every seed.  This is
+   the live counterpart of the hardcoded golden list above: it pins the
+   optimized path to whatever the baseline path produces today. *)
+let test_parallel_commit_witness_identity () =
+  let pipe_of cfg =
+    Runtime.Config.with_incremental_gc
+      (Runtime.Config.with_commit_shards (Runtime.Config.with_pipelined_commit cfg) 8)
+  in
+  List.iter
+    (fun (entry : Workload.Registry.entry) ->
+      List.iter
+        (fun rt ->
+          match rt with
+          | R.Pthreads -> ()
+          | R.Det cfg ->
+              List.iter
+                (fun seed ->
+                  let base =
+                    Res.deterministic_witness (R.run rt ~seed ~nthreads:8 entry.program)
+                  in
+                  let piped =
+                    Res.deterministic_witness
+                      (R.run (R.Det (pipe_of cfg)) ~seed ~nthreads:8 entry.program)
+                  in
+                  check_string
+                    (Printf.sprintf "%s/%s seed=%d pipelined" entry.program.Api.name
+                       (R.name rt) seed)
+                    base piped)
+                [ 1; 7 ])
+        [ R.consequence_ic; R.consequence_rr; R.dthreads ])
+    Workload.Registry.all
+
 let test_golden_witnesses () =
   List.iter
     (fun (bench, rt_name, seed, threads, expected) ->
@@ -854,5 +890,9 @@ let () =
             test_observer_token_order;
         ] );
       ( "golden",
-        [ Alcotest.test_case "witnesses match pre-rewrite baseline" `Slow test_golden_witnesses ] );
+        [
+          Alcotest.test_case "witnesses match pre-rewrite baseline" `Slow test_golden_witnesses;
+          Alcotest.test_case "pipelined sharded commit witness-identical" `Slow
+            test_parallel_commit_witness_identity;
+        ] );
     ]

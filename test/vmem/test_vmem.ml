@@ -179,6 +179,155 @@ let test_segment_hash_stable_under_gc () =
   check_bytes "gc does not change current image" h (Vmem.Segment.hash seg)
 
 (* ------------------------------------------------------------------ *)
+(* Sharded commit / incremental GC                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_segment_shard_ranges () =
+  let seg = make_segment ~pages:10 () in
+  Vmem.Segment.set_shards seg 4;
+  check_int "4 shards" 4 (Vmem.Segment.shards seg);
+  (* shard_of_page must be monotone, start at 0, end at nshards-1, and
+     cover every shard for a 10-page / 4-shard split. *)
+  let shards = List.init 10 (Vmem.Segment.shard_of_page seg) in
+  check_int "first page in shard 0" 0 (List.hd shards);
+  check_int "last page in shard 3" 3 (List.nth shards 9);
+  check_bool "monotone" true
+    (List.for_all2 ( <= ) (List.filteri (fun i _ -> i < 9) shards) (List.tl shards));
+  Alcotest.(check (list int)) "all shards populated" [ 0; 1; 2; 3 ]
+    (List.sort_uniq compare shards);
+  (* Clamped: more shards than pages degenerates to one page per shard. *)
+  Vmem.Segment.set_shards seg 64;
+  check_int "clamped to page count" 10 (Vmem.Segment.shards seg)
+
+(* Apply the same commit list to a serial (1-shard) and an n-shard
+   segment and require byte-identical state: same hash, same versions,
+   same committers, same content at every version. *)
+let apply_commits seg commits =
+  List.iteri
+    (fun i pages ->
+      let pages =
+        List.map
+          (fun (pg, c) ->
+            let p = Vmem.Page.create ~size:(Vmem.Segment.page_size seg) in
+            Bytes.fill p 0 (Bytes.length p) c;
+            (pg, p))
+          pages
+      in
+      ignore (Vmem.Segment.commit seg ~committer:(i mod 4) ~pages))
+    commits
+
+let segments_equal ?(from_version = 0) sa sb =
+  let va = Vmem.Segment.current_version sa in
+  va = Vmem.Segment.current_version sb
+  && Vmem.Segment.hash sa = Vmem.Segment.hash sb
+  && List.for_all
+       (fun v ->
+         List.for_all
+           (fun pg ->
+             Bytes.equal
+               (Vmem.Segment.read_page sa ~version:v pg)
+               (Vmem.Segment.read_page sb ~version:v pg))
+           (List.init (Vmem.Segment.page_count sa) Fun.id))
+       (List.init (va - from_version + 1) (fun k -> from_version + k))
+  && List.for_all
+       (fun v -> Vmem.Segment.committer_of sa v = Vmem.Segment.committer_of sb v)
+       (List.init va (fun k -> k + 1))
+
+let test_segment_parallel_install_path () =
+  (* A single commit of >= 64 distinct pages on a multi-shard segment
+     takes the pool fan-out install; it must be indistinguishable from
+     the serial install of the same pages. *)
+  let mk () = Vmem.Segment.create ~pages:128 ~page_size:32 () in
+  let serial = mk () and sharded = mk () in
+  Vmem.Segment.set_shards sharded 8;
+  let commit = List.init 100 (fun k -> ((k * 5) mod 128, Char.chr (33 + (k mod 90)))) in
+  let commit = List.sort_uniq (fun (a, _) (b, _) -> compare a b) commit in
+  check_bool "covers parallel threshold" true (List.length commit >= 64);
+  apply_commits serial [ commit ];
+  apply_commits sharded [ commit ];
+  check_bool "byte-identical" true (segments_equal serial sharded)
+
+let test_segment_gc_step_equivalence () =
+  (* Incremental per-shard gc_step, run to quiescence, reclaims exactly
+     what one monolithic gc pass reclaims, and leaves identical state. *)
+  let mk () = Vmem.Segment.create ~pages:16 ~page_size:8 () in
+  let serial = mk () and sharded = mk () in
+  Vmem.Segment.set_shards sharded 4;
+  let commits =
+    List.init 6 (fun r -> List.init 16 (fun pg -> (pg, Char.chr (65 + r))))
+  in
+  apply_commits serial commits;
+  apply_commits sharded commits;
+  let min_base = Vmem.Segment.current_version serial - 1 in
+  let reclaimed_serial = Vmem.Segment.gc serial ~min_base ~budget:max_int in
+  let reclaimed_sharded = ref 0 in
+  (* Each step scans at most 8 pages of one shard; 4 shards x 4 pages
+     means a handful of rotations reach quiescence. *)
+  for _ = 1 to 16 do
+    reclaimed_sharded :=
+      !reclaimed_sharded + Vmem.Segment.gc_step sharded ~min_base ~max_pages:8
+  done;
+  check_int "same total reclaimed" reclaimed_serial !reclaimed_sharded;
+  check_int "same live snapshots" (Vmem.Segment.live_snapshots serial)
+    (Vmem.Segment.live_snapshots sharded);
+  check_bool "identical from min_base" true (segments_equal ~from_version:min_base serial sharded)
+
+let test_segment_gc_step_bound () =
+  let seg = make_segment ~pages:8 () in
+  Vmem.Segment.set_shards seg 2;
+  for _ = 1 to 5 do
+    ignore
+      (Vmem.Segment.commit seg ~committer:0
+         ~pages:(List.init 8 (fun pg -> (pg, mk_page seg "x"))))
+  done;
+  let min_base = Vmem.Segment.current_version seg in
+  (* max_pages bounds pages *scanned*, and each page holds 4 obsolete
+     snapshots: a 1-page step reclaims at most 4. *)
+  let r = Vmem.Segment.gc_step seg ~min_base ~max_pages:1 in
+  check_bool "per-step work bounded" true (r <= 4);
+  check_bool "made progress" true (r > 0)
+
+let test_ws_seal_install_equals_commit () =
+  (* Two-phase seal/install must be observably identical to the fused
+     commit: same commit_info, same committed bytes. *)
+  let seg_a = make_segment () and seg_b = make_segment () in
+  let wa = Vmem.Workspace.create seg_a ~tid:0 in
+  let wb = Vmem.Workspace.create seg_b ~tid:0 in
+  List.iter
+    (fun ws ->
+      Vmem.Workspace.write ws ~addr:3 (bytes_of_string "fused-vs-staged");
+      Vmem.Workspace.write ws ~addr:40 (bytes_of_string "q"))
+    [ wa; wb ];
+  let ca = Vmem.Workspace.commit wa in
+  let sealed = Vmem.Workspace.seal wb in
+  check_int "sealed_pages" ca.pages_committed (Vmem.Workspace.sealed_pages sealed);
+  check_int "sealed_merged" ca.pages_merged (Vmem.Workspace.sealed_merged sealed);
+  let cb = Vmem.Workspace.install wb sealed in
+  check_int "same version" ca.version cb.version;
+  check_int "same pages" ca.pages_committed cb.pages_committed;
+  check_int "same merges" ca.pages_merged cb.pages_merged;
+  check_bool "same segment bytes" true (Vmem.Segment.hash seg_a = Vmem.Segment.hash seg_b);
+  (* Dirty state was reset by install: a second commit is empty. *)
+  check_int "workspace drained" 0 (Vmem.Workspace.commit wb).pages_committed
+
+let test_ws_install_stale_seal_rejected () =
+  (* The sealed write-set pins the base version; if the segment advanced
+     between seal and install the twin diffs are stale and install must
+     refuse rather than silently misinstall. *)
+  let seg = make_segment () in
+  let w0 = Vmem.Workspace.create seg ~tid:0 in
+  let w1 = Vmem.Workspace.create seg ~tid:1 in
+  Vmem.Workspace.write w0 ~addr:0 (bytes_of_string "early");
+  let sealed = Vmem.Workspace.seal w0 in
+  Vmem.Workspace.write w1 ~addr:64 (bytes_of_string "sneak");
+  ignore (Vmem.Workspace.commit w1);
+  let raised =
+    try ignore (Vmem.Workspace.install w0 sealed); false
+    with Invalid_argument _ -> true
+  in
+  check_bool "stale install raises" true raised
+
+(* ------------------------------------------------------------------ *)
 (* Workspace                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -532,6 +681,78 @@ let prop_gc_never_affects_readers_at_min_base =
       let after = List.init (vmax - min_base + 1) (fun k -> snapshot (min_base + k)) in
       before = after)
 
+let prop_sharded_commit_matches_serial =
+  (* The tentpole equivalence: for random page sets (with overlaps
+     across commits), random shard counts, and commits large enough to
+     take the pool fan-out install, the sharded segment is byte-for-byte
+     the serial segment — same hash, same per-version content, same
+     committers — and stays so after incremental vs monolithic GC. *)
+  QCheck.Test.make ~name:"sharded commit + incremental gc match serial segment" ~count:60
+    QCheck.(
+      triple (int_range 2 9)
+        (list_of_size (Gen.int_range 1 5)
+           (list_of_size (Gen.int_range 1 120) (pair (int_bound 127) printable_char)))
+        (int_bound 3))
+    (fun (nshards, commits, gc_lag) ->
+      let commits =
+        List.map (List.sort_uniq (fun (a, _) (b, _) -> compare a b)) commits
+      in
+      let mk () = Vmem.Segment.create ~pages:128 ~page_size:16 () in
+      let serial = mk () and sharded = mk () in
+      Vmem.Segment.set_shards sharded nshards;
+      apply_commits serial commits;
+      apply_commits sharded commits;
+      let eq_before = segments_equal serial sharded in
+      let min_base = max 0 (Vmem.Segment.current_version serial - gc_lag) in
+      let rs = Vmem.Segment.gc serial ~min_base ~budget:max_int in
+      let rb = ref 0 in
+      (* Enough bounded steps to reach quiescence: at most 9 shards of
+         <= 64 pages each, 64 scanned per step. *)
+      for _ = 1 to 4 * nshards do
+        rb := !rb + Vmem.Segment.gc_step sharded ~min_base ~max_pages:64
+      done;
+      eq_before && rs = !rb
+      && Vmem.Segment.live_snapshots serial = Vmem.Segment.live_snapshots sharded
+      && segments_equal ~from_version:min_base serial sharded)
+
+let prop_seal_install_equals_commit =
+  (* Random write batches through two workspaces against a sharded
+     segment: the staged seal/install path and the fused commit must
+     produce identical commit_infos and identical committed images. *)
+  QCheck.Test.make ~name:"seal/install equals fused commit on sharded segment" ~count:80
+    QCheck.(
+      list_of_size (Gen.int_range 1 20)
+        (triple bool (int_bound 111) (string_of_size (Gen.int_range 1 16))))
+    (fun writes ->
+      let mk () =
+        let seg = Vmem.Segment.create ~pages:8 ~page_size:16 () in
+        Vmem.Segment.set_shards seg 4;
+        (seg, Vmem.Workspace.create seg ~tid:0, Vmem.Workspace.create seg ~tid:1)
+      in
+      let seg_a, a0, a1 = mk () and seg_b, b0, b1 = mk () in
+      List.iter
+        (fun (who, addr, s) ->
+          let len = min (String.length s) (128 - addr) in
+          if len > 0 then begin
+            let b = Bytes.of_string (String.sub s 0 len) in
+            Vmem.Workspace.write (if who then a1 else a0) ~addr (Bytes.copy b);
+            Vmem.Workspace.write (if who then b1 else b0) ~addr b
+          end)
+        writes;
+      (* Segment A: fused commits.  Segment B: staged, in the same
+         order (t0 then t1 — the second may merge over the first). *)
+      let ca0 = Vmem.Workspace.commit a0 in
+      let ca1 = Vmem.Workspace.commit a1 in
+      let cb0 = Vmem.Workspace.install b0 (Vmem.Workspace.seal b0) in
+      let cb1 = Vmem.Workspace.install b1 (Vmem.Workspace.seal b1) in
+      let same (x : Vmem.Workspace.commit_info) (y : Vmem.Workspace.commit_info) =
+        x.version = y.version
+        && x.pages_committed = y.pages_committed
+        && x.pages_merged = y.pages_merged
+        && x.bytes_merged = y.bytes_merged
+      in
+      same ca0 cb0 && same ca1 cb1 && Vmem.Segment.hash seg_a = Vmem.Segment.hash seg_b)
+
 (* Byte-at-a-time oracles for the word-level page scans. *)
 let oracle_diff_count ~twin ~local =
   let n = ref 0 in
@@ -613,6 +834,16 @@ let () =
           Alcotest.test_case "hash changes" `Quick test_segment_hash_changes;
           Alcotest.test_case "hash stable under gc" `Quick test_segment_hash_stable_under_gc;
         ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "shard ranges" `Quick test_segment_shard_ranges;
+          Alcotest.test_case "parallel install path" `Quick test_segment_parallel_install_path;
+          Alcotest.test_case "gc_step equivalence" `Quick test_segment_gc_step_equivalence;
+          Alcotest.test_case "gc_step work bound" `Quick test_segment_gc_step_bound;
+          Alcotest.test_case "seal/install equals commit" `Quick
+            test_ws_seal_install_equals_commit;
+          Alcotest.test_case "stale seal rejected" `Quick test_ws_install_stale_seal_rejected;
+        ] );
       ( "workspace",
         [
           Alcotest.test_case "read initial zero" `Quick test_ws_read_initial_zero;
@@ -645,6 +876,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_disjoint_writers_merge_to_union;
           QCheck_alcotest.to_alcotest prop_gc_never_affects_readers_at_min_base;
           QCheck_alcotest.to_alcotest prop_workspace_gc_interplay;
+          QCheck_alcotest.to_alcotest prop_sharded_commit_matches_serial;
+          QCheck_alcotest.to_alcotest prop_seal_install_equals_commit;
           QCheck_alcotest.to_alcotest prop_word_diff_matches_byte_oracle;
           QCheck_alcotest.to_alcotest prop_word_merge_matches_byte_oracle;
         ] );
