@@ -9,7 +9,8 @@ type t = {
 }
 
 let run ?(runtime = Runtime.Run.consequence_ic) ?(costs = Runtime.Cost_model.default)
-    ?(seed = 1) ?nthreads ?(whatif = false) ?(obs = Obs.Sink.null) program =
+    ?(seed = 1) ?nthreads ?(whatif = false) ?measure_pipelined ?(obs = Obs.Sink.null) program
+    =
   let c = Profile.create () in
   let sink = Profile.sink c in
   let sink = if Obs.Sink.is_null obs then sink else Obs.Sink.tee sink obs in
@@ -20,7 +21,9 @@ let run ?(runtime = Runtime.Run.consequence_ic) ?(costs = Runtime.Cost_model.def
   let profile = Profile.finish c ~wall_ns:result.Stats.Run_result.wall_ns in
   let cpath = Critical_path.compute profile in
   let whatif =
-    if whatif then Some (Whatif.run ~runtime ~costs ~seed ?nthreads program) else None
+    if whatif then
+      Some (Whatif.run ~runtime ~costs ~seed ?nthreads ?measure_pipelined program)
+    else None
   in
   { runtime_name = Runtime.Run.name runtime; result; profile; cpath; whatif }
 

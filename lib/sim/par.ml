@@ -47,33 +47,50 @@ let concat_map f l = List.concat (map_list f l)
    workers parked on a condition variable between jobs, so dispatch
    costs a broadcast instead of k Domain.spawn. *)
 
+(* Each dispatch publishes a fresh immutable job descriptor with its own
+   claim/pending counters; workers capture the descriptor under [pm]
+   when they observe the generation change and claim indices only from
+   it.  This is what makes back-to-back jobs safe: a straggler that is
+   still inside [pool_work] when the next job is dispatched keeps
+   claiming from the *old* descriptor, whose exhausted counter sends it
+   back to park — it can never run (or double-complete) an index of the
+   new job.  Mutating shared slots in place instead would let exactly
+   that happen. *)
+type job = {
+  fn : int -> unit;
+  count : int;
+  next : int Atomic.t;
+  pending : int Atomic.t;  (* indices not yet completed in this job *)
+  err : exn option Atomic.t;
+}
+
+let idle_job () =
+  { fn = ignore; count = 0; next = Atomic.make 0; pending = Atomic.make 0;
+    err = Atomic.make None }
+
 type pool = {
-  pm : Mutex.t;  (* protects gen / stop and the two condition variables *)
+  pm : Mutex.t;  (* protects job / gen / stop and the two condition variables *)
   job_m : Mutex.t;  (* serializes submitters; try_run refuses instead of queueing *)
   cv_work : Condition.t;
   cv_done : Condition.t;
-  mutable fn : int -> unit;
-  mutable count : int;
-  next : int Atomic.t;
-  pending : int Atomic.t;  (* indices not yet completed in the current job *)
+  mutable job : job;  (* current job; published and captured under [pm] *)
   mutable gen : int;
   mutable stop : bool;
-  err : exn option Atomic.t;
   mutable domains : unit Domain.t array;
 }
 
-(* Claim and run indices until the current job is exhausted.  Exceptions
-   are captured (first wins) and re-raised by the submitter; every
-   claimed index still counts as completed so the job always drains. *)
-let pool_work p =
+(* Claim and run indices until [j] is exhausted.  Exceptions are
+   captured (first wins) and re-raised by the submitter; every claimed
+   index still counts as completed so the job always drains. *)
+let pool_work p (j : job) =
   let continue = ref true in
   while !continue do
-    let i = Atomic.fetch_and_add p.next 1 in
-    if i >= p.count then continue := false
+    let i = Atomic.fetch_and_add j.next 1 in
+    if i >= j.count then continue := false
     else begin
-      (try p.fn i
-       with e -> ignore (Atomic.compare_and_set p.err None (Some e)));
-      if Atomic.fetch_and_add p.pending (-1) = 1 then begin
+      (try j.fn i
+       with e -> ignore (Atomic.compare_and_set j.err None (Some e)));
+      if Atomic.fetch_and_add j.pending (-1) = 1 then begin
         Mutex.lock p.pm;
         Condition.broadcast p.cv_done;
         Mutex.unlock p.pm
@@ -91,8 +108,9 @@ let pool_worker p =
     done;
     let stop = p.stop in
     last_gen := p.gen;
+    let j = p.job in
     Mutex.unlock p.pm;
-    if stop then running := false else pool_work p
+    if stop then running := false else pool_work p j
   done
 
 let create_pool ?workers () =
@@ -105,13 +123,9 @@ let create_pool ?workers () =
       job_m = Mutex.create ();
       cv_work = Condition.create ();
       cv_done = Condition.create ();
-      fn = ignore;
-      count = 0;
-      next = Atomic.make 0;
-      pending = Atomic.make 0;
+      job = idle_job ();
       gen = 0;
       stop = false;
-      err = Atomic.make None;
       domains = [||];
     }
   in
@@ -120,27 +134,30 @@ let create_pool ?workers () =
 
 let pool_size p = Array.length p.domains + 1
 
-(* Run the job while holding [job_m]: publish it, wake the workers, work
-   alongside them, then wait until every index has completed (not merely
-   been claimed) so the next job can safely reuse the slots. *)
+(* Run the job while holding [job_m]: publish a fresh descriptor, wake
+   the workers, work alongside them, then wait until every index has
+   completed (not merely been claimed).  The job record is a small
+   per-dispatch allocation — the price of making stragglers from the
+   previous job harmless (see the [job] comment above). *)
 let pool_dispatch p n f =
-  p.fn <- f;
-  p.count <- n;
-  Atomic.set p.next 0;
-  Atomic.set p.pending n;
-  Atomic.set p.err None;
+  let j =
+    { fn = f; count = n; next = Atomic.make 0; pending = Atomic.make n;
+      err = Atomic.make None }
+  in
   Mutex.lock p.pm;
+  p.job <- j;
   p.gen <- p.gen + 1;
   Condition.broadcast p.cv_work;
   Mutex.unlock p.pm;
-  pool_work p;
+  pool_work p j;
   Mutex.lock p.pm;
-  while Atomic.get p.pending > 0 do
+  while Atomic.get j.pending > 0 do
     Condition.wait p.cv_done p.pm
   done;
+  (* Drop the closure reference; late wakers find an exhausted job. *)
+  p.job <- idle_job ();
   Mutex.unlock p.pm;
-  p.fn <- ignore;
-  match Atomic.get p.err with Some e -> raise e | None -> ()
+  match Atomic.get j.err with Some e -> raise e | None -> ()
 
 let run_pool p n f =
   if n > 0 then

@@ -170,22 +170,33 @@ let install_sharded t vnum pages npages_committed =
       groups.(s) <- pg :: groups.(s))
     pages;
   !nonempty > 1
-  && Sim.Par.try_run_pool (Sim.Par.shared_pool ()) t.nshards (fun s ->
-         match groups.(s) with
-         | [] -> ()
-         | g ->
-             Mutex.lock t.shard_locks.(s);
-             Fun.protect
-               ~finally:(fun () -> Mutex.unlock t.shard_locks.(s))
-               (fun () ->
-                 List.iter
-                   (fun pg ->
-                     install_page t vnum pg;
-                     t.shard_live.(s) <- t.shard_live.(s) + 1)
-                   g))
   &&
-  (t.live <- t.live + npages_committed;
-   true)
+  let ran =
+    try
+      Sim.Par.try_run_pool (Sim.Par.shared_pool ()) t.nshards (fun s ->
+          match groups.(s) with
+          | [] -> ()
+          | g ->
+              Mutex.lock t.shard_locks.(s);
+              Fun.protect
+                ~finally:(fun () -> Mutex.unlock t.shard_locks.(s))
+                (fun () ->
+                  List.iter
+                    (fun pg ->
+                      install_page t vnum pg;
+                      t.shard_live.(s) <- t.shard_live.(s) + 1)
+                    g))
+    with e ->
+      (* A worker raised mid-install: pages installed before the failure
+         bumped their [shard_live], but the bulk [live] add below never
+         runs.  Rebuild [live] as the sum of the per-shard counters —
+         the invariant the serial path maintains page by page — so GC
+         shard selection and the [live = 0] fast path stay sound. *)
+      t.live <- Array.fold_left ( + ) 0 t.shard_live;
+      raise e
+  in
+  if ran then t.live <- t.live + npages_committed;
+  ran
 
 let commit t ~committer ~pages =
   let vnum = current_version t + 1 in
