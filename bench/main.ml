@@ -9,7 +9,8 @@
      bench/main.exe fig10 fig14     run selected sections
      bench/main.exe -j 4 all        fan the sweeps over 4 domains
    Sections: fig10 fig11 fig12 fig13 fig14 fig15 fig16 determinism tso
-   climit soundness locking chunking micro sched.
+   races climit soundness locking chunking micro sched replay profile
+   commit domains.
 
    [-j N] sets the worker-domain count for the figure sweeps (0 = one
    per recommended domain); results are gathered in input order, so the
@@ -23,7 +24,7 @@ let section_names =
   [
     "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "determinism"; "tso";
     "races"; "climit"; "soundness"; "locking"; "chunking"; "micro"; "sched"; "replay";
-    "profile"; "commit";
+    "profile"; "commit"; "domains";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -171,7 +172,7 @@ let sched_tests () =
          (let eng = Sim.Engine.create ~seed:1 () in
           let clocks = Lc.create () in
           let c = Lc.register clocks ~tid:0 in
-          let token = Tok.create eng clocks Tok.Instruction_count in
+          let token = Tok.create (Sim.Exec.of_engine eng) clocks Tok.Instruction_count in
           fun () ->
             Lc.tick c 1;
             Tok.wait token ~tid:0;
@@ -184,7 +185,7 @@ let sched_tests () =
       (Staged.stage (fun () ->
            let eng = Sim.Engine.create ~seed:1 () in
            let clocks = Lc.create () in
-           let token = Tok.create eng clocks Tok.Instruction_count in
+           let token = Tok.create (Sim.Exec.of_engine eng) clocks Tok.Instruction_count in
            for tid = 0 to 3 do
              ignore
                (Sim.Engine.spawn eng ~name:"t" (fun () ->
@@ -414,6 +415,7 @@ let fig f =
   Figures.Fig_output.to_json out
 
 let run_section ~threads name =
+  let w0 = Unix.gettimeofday () in
   let json =
     match name with
     | "fig10" -> fig (fun () -> Figures.Fig10.run ~threads ())
@@ -444,10 +446,26 @@ let run_section ~threads name =
        whole point is the high-thread-count regime, and the simulations
        are cheap (a commit-bound microbenchmark, not a figure sweep). *)
     | "commit" -> fig (fun () -> Figures.Commit_report.run ())
+    | "domains" ->
+        let figure = fig (fun () -> Figures.Domains_calib.run ()) in
+        Obs.Json.Obj
+          [
+            ("available_cores", Obs.Json.Int (Runtime.Domains_rt.available_cores ()));
+            ("figure", figure);
+          ]
     | other ->
         Printf.eprintf "unknown section %S; available: %s\n" other
           (String.concat " " section_names);
         exit 2
+  in
+  (* Every section dump also records how long the section itself took to
+     produce, next to its simulated quantities.  Adding a top-level field
+     keeps every existing BENCH_* schema backward-readable. *)
+  let wall_ns = int_of_float ((Unix.gettimeofday () -. w0) *. 1e9) in
+  let json =
+    match json with
+    | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("wall_ns", Obs.Json.Int wall_ns) ])
+    | other -> Obs.Json.Obj [ ("result", other); ("wall_ns", Obs.Json.Int wall_ns) ]
   in
   let file = Printf.sprintf "BENCH_%s.json" name in
   Obs.Json.to_file file json;
@@ -498,6 +516,11 @@ let () =
   List.iter
     (fun s ->
       run_section ~threads s;
+      (* Release the fan-out pool's domains between sections: a section
+         that spawns its own domains (the [domains] study) must not
+         compete with idle pool workers, and the pool re-creates itself
+         lazily on the next map_list. *)
+      Sim.Par.shutdown_shared ();
       print_newline ())
     sections;
   Printf.printf "bench complete in %.1f s wall / %.1f s cpu (%d job%s)\n"

@@ -24,6 +24,7 @@ let runtime_of_string = function
   | "consequence-rr" | "rr" -> Ok Runtime.Run.consequence_rr
   | "consequence-ic" | "ic" | "consequence" -> Ok Runtime.Run.consequence_ic
   | "consequence-pipe" | "pipe" -> Ok (Runtime.Run.Det Runtime.Config.consequence_pipe)
+  | "domains" -> Ok Runtime.Run.domains
   | s -> Error (`Msg (Printf.sprintf "unknown runtime %S" s))
 
 let runtime_conv =
@@ -35,7 +36,9 @@ let runtime_arg =
   let doc =
     "Threading library: pthreads, dthreads, dwc, consequence-rr, consequence-ic, \
      consequence-pipe (consequence-ic with pipelined sharded commit and incremental GC; \
-     witness-identical to consequence-ic)."
+     witness-identical to consequence-ic), domains (consequence-ic on real OCaml 5 \
+     domains with work-stealing; witness-identical, wall-clock timings; worker count \
+     from -j)."
   in
   Arg.(value & opt runtime_conv Runtime.Run.consequence_ic & info [ "r"; "runtime" ] ~doc)
 
@@ -71,7 +74,8 @@ let find_program name =
 (* --- run -------------------------------------------------------------- *)
 
 let run_cmd =
-  let action runtime threads seed name breakdown metrics json =
+  let action runtime threads seed name breakdown metrics json jobs =
+    apply_jobs jobs;
     match find_program name with
     | Error e ->
         prerr_endline e;
@@ -110,7 +114,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute one benchmark under one runtime.")
     Term.(
       const action $ runtime_arg $ threads_arg $ seed_arg $ benchmark_arg $ breakdown_arg
-      $ metrics_arg $ json_arg)
+      $ metrics_arg $ json_arg $ jobs_arg)
 
 (* --- trace ------------------------------------------------------------ *)
 

@@ -1,7 +1,7 @@
 type ordering = Round_robin | Instruction_count
 
 type t = {
-  eng : Sim.Engine.t;
+  ex : Sim.Exec.t;
   clocks : Logical_clock.t;
   ordering : ordering;
   mutable holder_tid : int; (* -1 = free *)
@@ -11,9 +11,9 @@ type t = {
   mutable wakeups : int; (* wakeup events posted by poke *)
 }
 
-let create eng clocks ordering =
+let create ex clocks ordering =
   {
-    eng;
+    ex;
     clocks;
     ordering;
     holder_tid = -1;
@@ -53,13 +53,13 @@ let poke t =
   let w = eligible_tid t in
   if w >= 0 && Logical_clock.is_waiting t.clocks ~tid:w then begin
     t.wakeups <- t.wakeups + 1;
-    Sim.Engine.wakeup t.eng w
+    t.ex.Sim.Exec.wakeup w
   end
 
 let wait t ~tid =
   Logical_clock.set_waiting t.clocks ~tid true;
   while not (t.holder_tid < 0 && eligible_tid t = tid) do
-    Sim.Engine.block t.eng ~reason:"token"
+    t.ex.Sim.Exec.block ~reason:"token"
   done;
   Logical_clock.set_waiting t.clocks ~tid false;
   t.holder_tid <- tid;

@@ -25,7 +25,11 @@ type ordering = Round_robin | Instruction_count
 
 type t
 
-val create : Sim.Engine.t -> Logical_clock.t -> ordering -> t
+(** The execution substrate ({!Sim.Exec.t}) supplies block/wakeup: the
+    DES engine in simulation, the domain scheduler under real-multicore
+    execution.  Eligibility itself depends only on deterministic clock
+    state, never on the substrate. *)
+val create : Sim.Exec.t -> Logical_clock.t -> ordering -> t
 val ordering : t -> ordering
 
 val wait : t -> tid:int -> unit

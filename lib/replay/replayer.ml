@@ -22,7 +22,10 @@ let runtime_of (log : Schedule.t) =
     List.find_opt (fun rt -> Runtime.Run.name rt = name) Runtime.Run.all
   with
   | Some Runtime.Run.Pthreads -> Runtime.Run.Pthreads
-  | Some (Runtime.Run.Det cfg) ->
+  | Some (Runtime.Run.Det cfg) | Some (Runtime.Run.Domains cfg) ->
+      (* Replay always re-executes on the DES: scripted boundaries make
+         the run fully deterministic, which a real-time backend cannot
+         honour for wall_ns. *)
       Runtime.Run.Det
         (Runtime.Config.with_scripted_schedule cfg ~boundaries:(Schedule.boundaries log))
   | None -> invalid_arg (Printf.sprintf "Replayer.runtime_of: unknown runtime preset %S" name)

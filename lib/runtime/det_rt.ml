@@ -82,6 +82,14 @@ type thread_state = {
          next [release_global], i.e. right after the token is handed on,
          so it overlaps the next chunk's execution on other threads.
          Accumulates across a coarsened chunk's deferred commits. *)
+  (* Wall-clock calibration accumulators (real backends only): measured
+     ns spent in real spins, unlocked memory operations, and the actual
+     Vmem commit/update work.  Flushed to wall:* metric counters at
+     thread exit; never read by the algorithms, zero on the DES. *)
+  mutable wall_run : int;
+  mutable wall_mem : int;
+  mutable wall_commit : int;
+  mutable wall_update : int;
 }
 
 type cond_rec = { cond_waitq : int Queue.t }
@@ -95,7 +103,7 @@ type barrier_rec = {
 type t = {
   cfg : Config.t;
   costs : Cost_model.t;
-  eng : Sim.Engine.t;
+  ex : Sim.Exec.t;
   seg : Vmem.Segment.t;
   clocks : Lc.t;
   token : Tok.t;
@@ -186,6 +194,16 @@ and metric_handles = {
 (* Small helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Execution-substrate shorthands.  On the DES these hit the engine; on
+   the domains backend they hit the work-stealing scheduler and the wall
+   clock.  Every runtime algorithm below goes through these — nothing
+   else may reach a scheduler directly. *)
+let e_now rt = rt.ex.Sim.Exec.now ()
+let e_advance rt ns = rt.ex.Sim.Exec.advance ns
+let e_block rt ~reason = rt.ex.Sim.Exec.block ~reason
+let e_wakeup rt tid = rt.ex.Sim.Exec.wakeup tid
+let is_real rt = rt.ex.Sim.Exec.real
+
 (* A tid can be allocated (next_tid bumped) slightly before its state is
    installed by [add_thread] — accounting folds that run in that window
    must see the slot as absent, so bound by the array too. *)
@@ -237,10 +255,17 @@ let unlock_label mid =
 (* [op] is the operation-family counter for the label (op_lock for
    "lock:3"), passed as an interned handle so the hot path neither scans
    the label nor hashes a key string. *)
+(* CONSEQ_DEBUG_SYNC=1 prints every sync record with its clock state —
+   diff two backends' streams to localize a cross-backend divergence. *)
+let debug_sync = Sys.getenv_opt "CONSEQ_DEBUG_SYNC" <> None
+
 let record_sync rt th ~op label =
   rt.sync_ops <- rt.sync_ops + 1;
+  if debug_sync then
+    Printf.eprintf "SYNC t%d %s pub=%d ic=%d\n%!" th.tid label
+      (Lc.published th.clock) th.instr_retired;
   Obs.Metrics.count op 1;
-  Sim.Trace.record rt.sync_trace ~time:(Sim.Engine.now rt.eng) ~tid:th.tid ~label
+  Sim.Trace.record rt.sync_trace ~time:(e_now rt) ~tid:th.tid ~label
 
 (* Observability helpers.  These read the simulated clock but never
    advance it, block, or touch algorithm state: instrumented and bare
@@ -251,7 +276,7 @@ let tracing rt = not (Obs.Sink.is_null rt.obs)
 let span rt ~cat ~name ~tid ~t0 ?(args = []) () =
   if tracing rt then
     rt.obs.Obs.Sink.span
-      { Obs.Span.name; cat; tid; t0; t1 = Sim.Engine.now rt.eng; args }
+      { Obs.Span.name; cat; tid; t0; t1 = e_now rt; args }
 
 (* Rt_event payloads allocate (records, label strings): construct them
    only when somebody is listening.  Call sites guard with [emitting]. *)
@@ -281,7 +306,7 @@ let bd_of_state = function
    sink sees the interval after the time has already been spent. *)
 let state_interval rt th ~state ~t0 ?(waker = -1) () =
   if tracing rt then begin
-    let t1 = Sim.Engine.now rt.eng in
+    let t1 = e_now rt in
     if t1 > t0 then
       rt.obs.Obs.Sink.state
         { Obs.Thread_state.stid = th.tid; state; t0; t1; chunk = th.prof_chunk; waker }
@@ -294,8 +319,8 @@ let state_interval rt th ~state ~t0 ?(waker = -1) () =
 let charge rt th st ns =
   if ns > 0 then begin
     Bd.add th.bd (bd_of_state st) ns;
-    let t0 = Sim.Engine.now rt.eng in
-    Sim.Engine.advance rt.eng ns;
+    let t0 = e_now rt in
+    e_advance rt ns;
     state_interval rt th ~state:st ~t0 ()
   end
 
@@ -310,7 +335,7 @@ let emit rt ev =
         Obs.Span.iname = Rt_event.label ev;
         icat;
         itid = Rt_event.tid ev;
-        itime = Sim.Engine.now rt.eng;
+        itime = e_now rt;
       }
   end
 
@@ -378,8 +403,16 @@ let min_base rt =
     (Vmem.Segment.current_version rt.seg)
 
 let gc_and_sample rt =
-  let now = Sim.Engine.now rt.eng in
-  (if rt.cfg.incremental_gc then
+  let now = e_now rt in
+  (if is_real rt then
+     (* Real-parallel backend: other domains read committed snapshots
+        without the runtime lock, so history prefixes must never move
+        (see the [hist] publication comment in Segment).  Versions are
+        kept until the run ends — the DES remains the memory-footprint
+        oracle, and [off] staying 0 is what the lock-free read path
+        relies on. *)
+     ()
+   else if rt.cfg.incremental_gc then
      (* Incremental per-shard collection: one bounded step per commit
         point (plus one per pipelined-commit drain).  The hard page bound
         replaces the rate budget — steps are cheap enough to hide in
@@ -572,7 +605,7 @@ let shard_footprint rt (ci : Vmem.Workspace.commit_info) =
 
 let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
   if ci.pages_committed > 0 then begin
-    let t0 = Sim.Engine.now rt.eng in
+    let t0 = e_now rt in
     let c = rt.costs in
     (* With a sharded segment the per-page installs proceed one shard per
        worker, so the install term is the largest single-shard footprint;
@@ -603,7 +636,7 @@ let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
        in
        charge rt th St.Commit (int_of_float (float_of_int ns *. rt.cfg.commit_cost_mult))
      end);
-    Obs.Metrics.record rt.mh.mh_commit_ns (Sim.Engine.now rt.eng - t0);
+    Obs.Metrics.record rt.mh.mh_commit_ns (e_now rt - t0);
     Obs.Metrics.record rt.mh.mh_commit_pages ci.pages_committed;
     if tracing rt then
       span rt ~cat:Obs.Span.Commit
@@ -621,7 +654,7 @@ let charge_commit rt th (ci : Vmem.Workspace.commit_info) =
 
 let charge_update rt th (ui : Vmem.Workspace.update_info) =
   if ui.to_version > ui.from_version then begin
-    let t0 = Sim.Engine.now rt.eng in
+    let t0 = e_now rt in
     let c = rt.costs in
     let ns =
       c.Cost_model.update_base_ns
@@ -629,7 +662,7 @@ let charge_update rt th (ui : Vmem.Workspace.update_info) =
       + (ui.pages_refreshed * c.Cost_model.page_refresh_ns)
     in
     charge rt th St.Update ns;
-    Obs.Metrics.record rt.mh.mh_update_ns (Sim.Engine.now rt.eng - t0);
+    Obs.Metrics.record rt.mh.mh_update_ns (e_now rt - t0);
     if tracing rt then
       span rt ~cat:Obs.Span.Update
         ~name:(Printf.sprintf "update:v%d-v%d" ui.from_version ui.to_version)
@@ -638,12 +671,35 @@ let charge_update rt th (ui : Vmem.Workspace.update_info) =
         ()
   end
 
+(* Real Vmem work, timed on real backends: these wrappers are the
+   measurement points of the wall-vs-model calibration (the charge_*
+   functions above account *modelled* ns; here the actual page installs
+   and refreshes happen).  Both run with the token and runtime lock
+   held, matching the DES execution points exactly. *)
+let ws_commit rt th =
+  if is_real rt then begin
+    let w0 = e_now rt in
+    let ci = Vmem.Workspace.commit th.ws in
+    th.wall_commit <- th.wall_commit + (e_now rt - w0);
+    ci
+  end
+  else Vmem.Workspace.commit th.ws
+
+let ws_update rt th =
+  if is_real rt then begin
+    let w0 = e_now rt in
+    let ui = Vmem.Workspace.update th.ws in
+    th.wall_update <- th.wall_update + (e_now rt - w0);
+    ui
+  end
+  else Vmem.Workspace.update th.ws
+
 (* The paper's convCommitAndUpdateMem(). *)
 let commit_and_update rt th =
-  let ci = Vmem.Workspace.commit th.ws in
+  let ci = ws_commit rt th in
   stamp_commit rt th ci;
   charge_commit rt th ci;
-  let ui = Vmem.Workspace.update th.ws in
+  let ui = ws_update rt th in
   charge_update rt th ui;
   th.since_commit <- 0;
   gc_and_sample rt
@@ -670,7 +726,7 @@ let fence_release rt ~waker =
   List.iter
     (fun tid ->
       if tid <> waker then (thread rt tid).prof_waker <- waker;
-      Sim.Engine.wakeup rt.eng tid)
+      e_wakeup rt tid)
     arrived
 
 (* Called whenever the participant set shrinks (park, exit): the fence may
@@ -688,7 +744,7 @@ let fence_wait rt th =
   else begin
     let gen = rt.fence_generation in
     while rt.fence_generation = gen do
-      Sim.Engine.block rt.eng ~reason:"fence"
+      e_block rt ~reason:"fence"
     done
   end;
   ignore th
@@ -696,7 +752,7 @@ let fence_wait rt th =
 let serial_wait rt th =
   let at_head () = match rt.serial_queue with head :: _ -> head = th.tid | [] -> false in
   while not (at_head ()) do
-    Sim.Engine.block rt.eng ~reason:"serial-turn"
+    e_block rt ~reason:"serial-turn"
   done;
   rt.serial_acquisitions <- rt.serial_acquisitions + 1
 
@@ -707,7 +763,7 @@ let serial_done rt th =
       (match rest with
       | next :: _ ->
           (thread rt next).prof_waker <- th.tid;
-          Sim.Engine.wakeup rt.eng next
+          e_wakeup rt next
       | [] -> ())
   | _ -> invalid_arg "Det_rt.serial_done: thread is not at the head of the serial queue"
 
@@ -719,7 +775,7 @@ let uses_fence rt = rt.cfg.Config.ordering = Config.Round_robin
    (asynchronous commits) or the epoch fence plus the serial turn
    (synchronous commits, DThreads). *)
 let acquire_global rt th =
-  let t0 = Sim.Engine.now rt.eng in
+  let t0 = e_now rt in
   if uses_fence rt then begin
     if th.serial_sticky then
       (* Back-to-back sync op: still our serial turn, no new fence. *)
@@ -730,7 +786,7 @@ let acquire_global rt th =
     end
   end
   else Tok.wait rt.token ~tid:th.tid;
-  let waited = Sim.Engine.now rt.eng - t0 in
+  let waited = e_now rt - t0 in
   Bd.add th.bd Bd.Determ_wait waited;
   Obs.Metrics.record rt.mh.mh_determ_wait_ns waited;
   if waited > 0 then begin
@@ -742,7 +798,7 @@ let acquire_global rt th =
     state_interval rt th ~state:St.Token_wait ~t0 ~waker ()
   end;
   th.prof_waker <- -1;
-  th.token_t0 <- Sim.Engine.now rt.eng
+  th.token_t0 <- e_now rt
 
 (* Drain a pipelined commit's deferred bulk cost, as a Commit_pipe
    interval stamped right after the global moved on — this is the point
@@ -758,11 +814,11 @@ let drain_pipe rt th =
   if th.pipe_pending_ns > 0 then begin
     let ns = int_of_float (float_of_int th.pipe_pending_ns *. rt.cfg.commit_cost_mult) in
     th.pipe_pending_ns <- 0;
-    let t0 = Sim.Engine.now rt.eng in
+    let t0 = e_now rt in
     charge rt th St.Commit_pipe ns;
-    Obs.Metrics.record rt.mh.mh_commit_pipe_ns (Sim.Engine.now rt.eng - t0);
+    Obs.Metrics.record rt.mh.mh_commit_pipe_ns (e_now rt - t0);
     span rt ~cat:Obs.Span.Commit ~name:"commit-pipe" ~tid:th.tid ~t0 ();
-    if rt.cfg.incremental_gc then
+    if rt.cfg.incremental_gc && not (is_real rt) then
       ignore
         (Vmem.Segment.gc_step rt.seg ~min_base:(min_base rt)
            ~max_pages:rt.costs.Cost_model.gc_step_pages)
@@ -770,7 +826,7 @@ let drain_pipe rt th =
 
 let release_global rt th =
   if th.token_t0 >= 0 then begin
-    Obs.Metrics.record rt.mh.mh_token_hold_ns (Sim.Engine.now rt.eng - th.token_t0);
+    Obs.Metrics.record rt.mh.mh_token_hold_ns (e_now rt - th.token_t0);
     span rt ~cat:Obs.Span.Token_hold ~name:"token" ~tid:th.tid ~t0:th.token_t0 ();
     th.token_t0 <- -1
   end;
@@ -815,7 +871,7 @@ let close_chunk rt th =
 let open_chunk rt th =
   Lc.resume th.clock;
   th.chunk_start_instr <- th.instr_retired;
-  th.chunk_open_ns <- Sim.Engine.now rt.eng;
+  th.chunk_open_ns <- e_now rt;
   th.prof_chunk <- th.prof_chunk + 1;
   Ofp.begin_chunk th.ofp;
   th.next_overflow_in <- 0
@@ -884,7 +940,7 @@ let end_coarsen rt th =
   release_global rt th;
   charge rt th St.Runtime rt.costs.Cost_model.token_ns;
   th.chunk_start_instr <- th.instr_retired;
-  th.chunk_open_ns <- Sim.Engine.now rt.eng;
+  th.chunk_open_ns <- e_now rt;
   th.prof_chunk <- th.prof_chunk + 1;
   Ofp.begin_chunk th.ofp;
   th.next_overflow_in <- 0
@@ -925,6 +981,17 @@ let rec consume rt th n =
        in
        th.next_overflow_in <- Ofp.next_interval ~ic:th.instr_retired th.ofp ~waiter_gap:gap);
     let step = min n th.next_overflow_in in
+    if is_real rt then begin
+      (* Execute the chunk's instructions for real, with the runtime
+         lock released (the substrate's spin drops and retakes it) so
+         other domains' chunks genuinely overlap.  Safe because chunk
+         work touches only thread-private state, and safe for ordering
+         because grant eligibility depends only on published sync-point
+         counts, never on when this work physically runs. *)
+      let w0 = e_now rt in
+      rt.ex.Sim.Exec.spin step;
+      th.wall_run <- th.wall_run + (e_now rt - w0)
+    end;
     charge rt th St.Run (Cost_model.work_ns rt.costs th.prng step);
     th.instr_retired <- th.instr_retired + step;
     th.unpublished <- th.unpublished + step;
@@ -951,6 +1018,29 @@ let rec consume rt th n =
   end
 
 let mem_instr rt len = max 1 (len / 8 * rt.costs.Cost_model.mem_op_instr_per_8bytes)
+
+(* Run a workspace data operation.  On a real backend the runtime lock
+   is released for the duration: reads/writes touch only the caller's
+   private workspace plus immutable published segment snapshots (the
+   lock-free read path Segment's [hist] publication order protects), so
+   memory operations from different domains genuinely overlap.  The
+   wrapper re-acquires the lock before re-raising, preserving the
+   invariant that runtime code always unwinds with the lock held. *)
+let unlocked_mem rt th f =
+  if is_real rt then begin
+    let w0 = e_now rt in
+    rt.ex.Sim.Exec.unlock ();
+    let r =
+      try f ()
+      with e ->
+        rt.ex.Sim.Exec.lock ();
+        raise e
+    in
+    rt.ex.Sim.Exec.lock ();
+    th.wall_mem <- th.wall_mem + (e_now rt - w0);
+    r
+  end
+  else f ()
 
 let charge_new_faults rt th before_faults =
   let after = (Vmem.Workspace.stats th.ws).Vmem.Workspace.write_faults in
@@ -982,11 +1072,11 @@ let park rt th ~state ~reason ~ready =
   Tok.poke rt.token;
   rt.prof_enabler <- th.tid;
   fence_check rt ~waker:th.tid;
-  let t0 = Sim.Engine.now rt.eng in
+  let t0 = e_now rt in
   while not (ready ()) do
-    Sim.Engine.block rt.eng ~reason
+    e_block rt ~reason
   done;
-  let waited = Sim.Engine.now rt.eng - t0 in
+  let waited = e_now rt - t0 in
   Bd.add th.bd (bd_of_state state) waited;
   (let scat, hist =
      match state with
@@ -1013,13 +1103,24 @@ let park rt th ~state ~reason ~ready =
    and schedule it. *)
 let grant rt ~waker wakee ~before =
   before ();
-  if rt.cfg.fast_forward then
-    ignore (Lc.fast_forward wakee.clock ~to_count:(Lc.published waker.clock));
+  if rt.cfg.fast_forward then begin
+    (* The wakee inherits the waker's true progress: publish any
+       retired-but-unpublished instructions first, so the target is a
+       pure function of the waker's program point.  Without this, a
+       grant from inside a coarsened chunk (the one grant site that is
+       not preceded by a chunk-closing counter read) fast-forwards to
+       whatever the last overflow publication happened to be — and
+       overflow timing is real-time dependent on the domains backend
+       (Ofp's waiter_gap), which would leak wall-clock into the
+       deterministic schedule. *)
+    publish rt waker ~overflow:false;
+    ignore (Lc.fast_forward wakee.clock ~to_count:(Lc.published waker.clock))
+  end;
   wakee.parked <- false;
   wakee.prof_waker <- waker.tid;
   Lc.arrive wakee.clock;
   Tok.poke rt.token;
-  Sim.Engine.wakeup rt.eng wakee.tid
+  e_wakeup rt wakee.tid
 
 (* ------------------------------------------------------------------ *)
 (* Synchronization operations                                         *)
@@ -1225,14 +1326,14 @@ let barrier_wait rt th bid =
         content; charge only the cheap ordering work.  Phase 2 (the bulk
         merge) is charged after the token is released, so committers
         overlap. *)
-     let ci = Vmem.Workspace.commit th.ws in
+     let ci = ws_commit rt th in
      stamp_commit rt th ci;
      if ci.Vmem.Workspace.pages_committed > 0 then begin
-       let t0 = Sim.Engine.now rt.eng in
+       let t0 = e_now rt in
        charge rt th St.Commit
          (c.Cost_model.commit_base_ns
          + (ci.Vmem.Workspace.pages_committed * c.Cost_model.barrier_phase1_page_ns));
-       Obs.Metrics.record rt.mh.mh_commit_ns (Sim.Engine.now rt.eng - t0);
+       Obs.Metrics.record rt.mh.mh_commit_ns (e_now rt - t0);
        Obs.Metrics.record rt.mh.mh_commit_pages ci.Vmem.Workspace.pages_committed;
        if tracing rt then
          span rt ~cat:Obs.Span.Commit
@@ -1261,7 +1362,7 @@ let barrier_wait rt th bid =
      (* Serial barrier commit (DWC-style, paper section 5.2): the entire
         page volume is installed while holding the turn, so concurrent
         barrier committers serialize. *)
-     let ci = Vmem.Workspace.commit th.ws in
+     let ci = ws_commit rt th in
      stamp_commit rt th ci;
      charge_commit rt th ci);
   th.since_commit <- 0;
@@ -1284,10 +1385,10 @@ let barrier_wait rt th bid =
     Tok.poke rt.token;
     rt.prof_enabler <- th.tid
   end;
-  (let p2_t0 = Sim.Engine.now rt.eng in
+  (let p2_t0 = e_now rt in
    charge rt th St.Commit (int_of_float (float_of_int !phase2_pages *. rt.cfg.commit_cost_mult));
    if !phase2_pages > 0 then begin
-     Obs.Metrics.record rt.mh.mh_commit_ns (Sim.Engine.now rt.eng - p2_t0);
+     Obs.Metrics.record rt.mh.mh_commit_ns (e_now rt - p2_t0);
      span rt ~cat:Obs.Span.Commit ~name:"commit-phase2" ~tid:th.tid ~t0:p2_t0 ()
    end);
   if last then begin
@@ -1311,7 +1412,7 @@ let barrier_wait rt th bid =
   if emitting rt then emit rt (Rt_event.Acquire { tid = th.tid; obj = Rt_event.obj_barrier bid });
   (* Everyone updates to the latest version after the internal barrier;
      these updates run concurrently. *)
-  let ui = Vmem.Workspace.update th.ws in
+  let ui = ws_update rt th in
   charge_update rt th ui;
   gc_and_sample rt;
   open_chunk rt th
@@ -1339,10 +1440,10 @@ let atomic_fetch_add rt th ~addr delta =
   let v = Vmem.Workspace.read_int th.ws ~addr in
   Vmem.Workspace.write_int th.ws ~addr (v + delta);
   charge_new_faults rt th before;
-  let ci = Vmem.Workspace.commit th.ws in
+  let ci = ws_commit rt th in
   stamp_commit rt th ci;
   charge_commit rt th ci;
-  let ui = Vmem.Workspace.update th.ws in
+  let ui = ws_update rt th in
   charge_update rt th ui;
   record_sync rt th ~op:rt.mh.mh_op_atomic ("atomic:" ^ string_of_int addr);
   leave_coordination rt th;
@@ -1360,22 +1461,22 @@ let rec make_ops rt th : Api.ops =
     read =
       (fun ~addr ~len ->
         consume rt th (mem_instr rt len);
-        Vmem.Workspace.read th.ws ~addr ~len);
+        unlocked_mem rt th (fun () -> Vmem.Workspace.read th.ws ~addr ~len));
     write =
       (fun ~addr buf ->
         consume rt th (mem_instr rt (Bytes.length buf));
         let before = (Vmem.Workspace.stats th.ws).Vmem.Workspace.write_faults in
-        Vmem.Workspace.write th.ws ~addr buf;
+        unlocked_mem rt th (fun () -> Vmem.Workspace.write th.ws ~addr buf);
         charge_new_faults rt th before);
     read_int =
       (fun ~addr ->
         consume rt th 1;
-        Vmem.Workspace.read_int th.ws ~addr);
+        unlocked_mem rt th (fun () -> Vmem.Workspace.read_int th.ws ~addr));
     write_int =
       (fun ~addr v ->
         consume rt th 1;
         let before = (Vmem.Workspace.stats th.ws).Vmem.Workspace.write_faults in
-        Vmem.Workspace.write_int th.ws ~addr v;
+        unlocked_mem rt th (fun () -> Vmem.Workspace.write_int th.ws ~addr v);
         charge_new_faults rt th before);
     fetch_add = (fun ~addr delta -> plain_fetch_add rt th ~addr delta);
     atomic_fetch_add = (fun ~addr delta -> atomic_fetch_add rt th ~addr delta);
@@ -1389,7 +1490,7 @@ let rec make_ops rt th : Api.ops =
     spawn = (fun ?name body -> spawn_thread rt th ?name body);
     join = (fun t -> join_thread rt th t);
     log_output =
-      (fun msg -> Sim.Trace.record rt.out_trace ~time:(Sim.Engine.now rt.eng) ~tid:th.tid ~label:msg);
+      (fun msg -> Sim.Trace.record rt.out_trace ~time:(e_now rt) ~tid:th.tid ~label:msg);
     yield = (fun () -> ());
   }
 
@@ -1414,7 +1515,7 @@ and new_thread_state rt ~tid ~name ~inherit_count =
     clock;
     ws;
     bd = Bd.create ();
-    prng = Sim.Prng.split (Sim.Engine.prng rt.eng);
+    prng = Sim.Prng.split rt.ex.Sim.Exec.prng;
     ofp = Ofp.create ofp_kind;
     instr_retired = 0;
     unpublished = 0;
@@ -1437,13 +1538,17 @@ and new_thread_state rt ~tid ~name ~inherit_count =
     post_site_instr = 0;
     post_ewma = Hashtbl.create 8;
     token_t0 = -1;
-    chunk_open_ns = Sim.Engine.now rt.eng;
+    chunk_open_ns = e_now rt;
     prof_chunk = 0;
     prof_waker = -1;
     serial_sticky = false;
     pipe_pending_ns = 0;
     race_epoch = 1;
     chunk_epoch = 1;
+    wall_run = 0;
+    wall_mem = 0;
+    wall_commit = 0;
+    wall_update = 0;
   }
 
 and thread_exit rt th =
@@ -1461,10 +1566,24 @@ and thread_exit rt th =
   (match th.joiner with
   | Some j -> grant rt ~waker:th (thread rt j) ~before:(fun () -> (thread rt j).join_grant <- true)
   | None -> ());
-  flush_sticky rt th
+  flush_sticky rt th;
+  if is_real rt then begin
+    (* Flush the wall-clock calibration accumulators.  Counter adds are
+       commutative, so the (timing-dependent) exit order cannot affect
+       the totals; the wall:* keys exist only on real backends and are
+       never part of the witness.  Runs under the runtime lock, like
+       every other metrics access. *)
+    let flush name v =
+      if v > 0 then Obs.Metrics.count (Obs.Metrics.counter rt.metrics name) v
+    in
+    flush "wall:run_ns" th.wall_run;
+    flush "wall:mem_ns" th.wall_mem;
+    flush "wall:commit_ns" th.wall_commit;
+    flush "wall:update_ns" th.wall_update
+  end
 
 and spawn_thread rt th ?name body =
-  let fork_t0 = Sim.Engine.now rt.eng in
+  let fork_t0 = e_now rt in
   enter_coordination rt th;
   commit_and_update rt th;
   let child_tid = rt.next_tid in
@@ -1491,10 +1610,10 @@ and spawn_thread rt th ?name body =
   add_thread rt child;
   emit_release rt th (Rt_event.obj_thread child_tid);
   let fiber_id =
-    Sim.Engine.spawn rt.eng ~name (fun () ->
+    rt.ex.Sim.Exec.spawn ~name (fun () ->
         (* A recycled thread must refresh its view of memory. *)
         if emitting rt then emit rt (Rt_event.Acquire { tid = child_tid; obj = Rt_event.obj_thread child_tid });
-        let ui = Vmem.Workspace.update child.ws in
+        let ui = ws_update rt child in
         charge_update rt child ui;
         body (make_ops rt child);
         thread_exit rt child)
@@ -1512,7 +1631,7 @@ and spawn_thread rt th ?name body =
   child_tid
 
 and join_thread rt th target_tid =
-  let join_t0 = Sim.Engine.now rt.eng in
+  let join_t0 = e_now rt in
   (* Parking while holding a coarsened global would deadlock the system;
      end the hold before waiting for the child. *)
   if th.coarsen_holding then end_coarsen rt th;
@@ -1548,10 +1667,15 @@ and join_thread rt th target_tid =
 (* Entry point                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs = Obs.Sink.null)
-    (program : Api.t) =
+(* Run [program] on an arbitrary execution substrate.  [start] drives
+   the substrate's scheduler to quiescence after the main green thread
+   has been registered (the DES calls [Sim.Engine.run]; the domains
+   backend calls [Sim.Sched.run]).  Everything deterministic — thread
+   ids, token grants, commits, witnesses — is computed by the same code
+   on every substrate; only time and physical placement differ. *)
+let run_exec cfg ~ex ~start ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer
+    ?(obs = Obs.Sink.null) (program : Api.t) =
   let nthreads = match nthreads with Some n -> n | None -> program.Api.default_threads in
-  let eng = Sim.Engine.create ~seed () in
   let seg =
     Vmem.Segment.create ~name:program.Api.name ~pages:program.Api.heap_pages
       ~page_size:program.Api.page_size ()
@@ -1564,13 +1688,13 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
     | Config.Round_robin -> Tok.Round_robin
     | Config.Instruction_count -> Tok.Instruction_count
   in
-  let token = Tok.create eng clocks ordering in
+  let token = Tok.create ex clocks ordering in
   let metrics = Obs.Metrics.create () in
   let rt =
     {
       cfg;
       costs;
-      eng;
+      ex;
       seg;
       clocks;
       token;
@@ -1638,12 +1762,12 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
   let main_state = new_thread_state rt ~tid:0 ~name:"main" ~inherit_count:0 in
   add_thread rt main_state;
   let fiber_id =
-    Sim.Engine.spawn eng ~name:"main" (fun () ->
+    rt.ex.Sim.Exec.spawn ~name:"main" (fun () ->
         program.Api.main ~nthreads (make_ops rt main_state);
         thread_exit rt main_state)
   in
   assert (fiber_id = 0);
-  Sim.Engine.run eng;
+  start ();
   let per_thread =
     fold_threads rt
       (fun th acc ->
@@ -1664,7 +1788,7 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
     runtime = cfg.Config.name;
     nthreads;
     seed;
-    wall_ns = Sim.Engine.now eng;
+    wall_ns = e_now rt;
     per_thread;
     sync_ops = rt.sync_ops;
     token_acquisitions = Tok.acquisitions token + rt.serial_acquisitions;
@@ -1688,3 +1812,12 @@ let run cfg ?(costs = Cost_model.default) ?(seed = 1) ?nthreads ?observer ?(obs 
         (Sim.Trace.events rt.sync_trace);
     metrics = Obs.Metrics.snapshot rt.metrics;
   }
+
+(* The discrete-event entry point every existing caller uses: wrap the
+   DES engine as the execution substrate and drive it to quiescence. *)
+let run cfg ?costs ?seed ?nthreads ?observer ?obs (program : Api.t) =
+  let eng = Sim.Engine.create ~seed:(Option.value seed ~default:1) () in
+  run_exec cfg
+    ~ex:(Sim.Exec.of_engine eng)
+    ~start:(fun () -> Sim.Engine.run eng)
+    ?costs ?seed ?nthreads ?observer ?obs program

@@ -21,6 +21,25 @@
     The returned {!Stats.Run_result.t} carries both performance metrics
     and the determinism witnesses. *)
 
+val run_exec :
+  Config.t ->
+  ex:Sim.Exec.t ->
+  start:(unit -> unit) ->
+  ?costs:Cost_model.t ->
+  ?seed:int ->
+  ?nthreads:int ->
+  ?observer:Rt_event.observer ->
+  ?obs:Obs.Sink.t ->
+  Api.t ->
+  Stats.Run_result.t
+(** Run the program on an arbitrary execution substrate ({!Sim.Exec.t}).
+    [start] drives the substrate's scheduler to quiescence once the main
+    green thread is registered.  All deterministic state — thread ids,
+    token grants, commits, the witnesses — is computed by the same code
+    on every substrate; substrates differ only in time (simulated vs
+    wall) and physical placement (fibers vs domains).  This is what
+    [Runtime.Domains_rt] builds on; ordinary callers use {!run}. *)
+
 val run :
   Config.t ->
   ?costs:Cost_model.t ->

@@ -1,22 +1,31 @@
-type runtime = Pthreads | Det of Config.t
+type runtime = Pthreads | Det of Config.t | Domains of Config.t
 
-let name = function Pthreads -> Pthreads_rt.name | Det cfg -> cfg.Config.name
+let name = function
+  | Pthreads -> Pthreads_rt.name
+  | Det cfg -> cfg.Config.name
+  | Domains cfg -> cfg.Config.name ^ "-domains"
 
 let pthreads = Pthreads
 let dthreads = Det Config.dthreads
 let dwc = Det Config.dwc
 let consequence_rr = Det Config.consequence_rr
 let consequence_ic = Det Config.consequence_ic
+let domains = Domains Config.consequence_ic
+
+(* [all] deliberately excludes [Domains]: its wall_ns is real time, so
+   it cannot satisfy the cross-run reproducibility the DES runtimes are
+   held to (witnesses still match — see test/runtime). *)
 let all = [ pthreads; dthreads; dwc; consequence_rr; consequence_ic ]
 
 let deterministic = function
   | Pthreads -> false
-  | Det cfg -> cfg.Config.counter_jitter_ppm = 0
+  | Det cfg | Domains cfg -> cfg.Config.counter_jitter_ppm = 0
 
 let run rt ?costs ?seed ?nthreads ?observer ?obs program =
   match rt with
   | Pthreads -> Pthreads_rt.run ?costs ?seed ?nthreads ?observer ?obs program
   | Det cfg -> Det_rt.run cfg ?costs ?seed ?nthreads ?observer ?obs program
+  | Domains cfg -> Domains_rt.run cfg ?costs ?seed ?nthreads ?observer ?obs program
 
 let best_over_threads rt ?costs ?seed ~threads program =
   match threads with

@@ -1,7 +1,7 @@
 (** Uniform entry point over all five threading libraries of the
     evaluation (section 5). *)
 
-type runtime = Pthreads | Det of Config.t
+type runtime = Pthreads | Det of Config.t | Domains of Config.t
 
 val name : runtime -> string
 
@@ -10,6 +10,14 @@ val dthreads : runtime
 val dwc : runtime
 val consequence_rr : runtime
 val consequence_ic : runtime
+
+val domains : runtime
+(** [Domains Config.consequence_ic]: the same Consequence-IC algorithms
+    executed on real OCaml 5 domains with work-stealing
+    ({!Domains_rt}).  Witness-identical to {!consequence_ic}; [wall_ns]
+    is real wall-clock, so it is excluded from {!all} (whose members
+    must reproduce [wall_ns] bit-for-bit across runs).  The worker
+    count follows the process-wide [-j] knob ({!Sim.Par.set_jobs}). *)
 
 val all : runtime list
 (** pthreads + the four deterministic libraries, in Fig 10 display order. *)

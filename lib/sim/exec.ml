@@ -1,0 +1,55 @@
+(* Execution substrate: the capability record through which the
+   deterministic runtime touches its scheduler.  Two implementations
+   exist — the discrete-event [Engine] (simulated time, effect-handler
+   fibers on one domain) and [Sched] (real OCaml 5 domains with
+   work-stealing, wall-clock time).  The runtime algorithms are written
+   against this record only, which is what makes the cross-backend
+   witness identity a mechanical fact rather than a re-implementation
+   claim. *)
+
+type t = {
+  now : unit -> int;
+      (* Simulated nanoseconds (DES) or wall nanoseconds since run
+         start (real).  Monotone; never read by the algorithms for
+         anything but accounting. *)
+  advance : int -> unit;
+      (* Consume modelled time.  A no-op on a real backend, where time
+         passes by itself. *)
+  block : reason:string -> unit;
+      (* Deschedule the calling thread until [wakeup].  Binary-permit
+         semantics: a wakeup posted while the thread is running is
+         consumed by the next block instead of being lost. *)
+  wakeup : int -> unit;
+  spawn : name:string -> (unit -> unit) -> int;
+      (* Register a green thread; returns its id.  Ids are handed out
+         sequentially from 0 in call order. *)
+  prng : Prng.t;
+      (* Master PRNG; subsystems split it. *)
+  real : bool;
+      (* True on a real-parallel backend: the runtime skips
+         concurrent-unsafe maintenance (segment GC) and performs real
+         work (spins, unlocked memory ops) where the DES only charges
+         modelled costs. *)
+  spin : int -> unit;
+      (* Execute [n] instructions of real work.  No-op on the DES
+         (which charges modelled time instead). *)
+  lock : unit -> unit;
+  unlock : unit -> unit;
+      (* The global runtime lock on a real backend (every runtime code
+         path holds it; it is released around spins, blocked waits and
+         bulk memory operations).  No-ops on the single-domain DES. *)
+}
+
+let of_engine eng =
+  {
+    now = (fun () -> Engine.now eng);
+    advance = (fun ns -> Engine.advance eng ns);
+    block = (fun ~reason -> Engine.block eng ~reason);
+    wakeup = (fun tid -> Engine.wakeup eng tid);
+    spawn = (fun ~name f -> Engine.spawn eng ~name f);
+    prng = Engine.prng eng;
+    real = false;
+    spin = ignore;
+    lock = ignore;
+    unlock = ignore;
+  }

@@ -1,0 +1,29 @@
+(** Execution substrate: the capability record through which the
+    deterministic runtime drives its scheduler.  [of_engine] wraps the
+    discrete-event simulator; the real-multicore backend builds one
+    over {!Sched} (see [Runtime.Domains_rt]).  Writing the runtime
+    algorithms against this record is what makes cross-backend witness
+    identity a structural property. *)
+
+type t = {
+  now : unit -> int;
+      (** Simulated ns (DES) or wall ns since run start (real). *)
+  advance : int -> unit;  (** Consume modelled time; no-op when real. *)
+  block : reason:string -> unit;
+      (** Deschedule until [wakeup]; binary-permit semantics as in
+          {!Engine.block}. *)
+  wakeup : int -> unit;
+  spawn : name:string -> (unit -> unit) -> int;
+      (** Register a green thread; ids are sequential from 0. *)
+  prng : Prng.t;
+  real : bool;
+      (** True on a real-parallel backend: skip concurrent-unsafe
+          maintenance, perform real work where the DES charges model
+          time. *)
+  spin : int -> unit;  (** Execute [n] instructions of real work. *)
+  lock : unit -> unit;
+  unlock : unit -> unit;
+      (** Global runtime lock (real backends); no-ops on the DES. *)
+}
+
+val of_engine : Engine.t -> t

@@ -1,0 +1,50 @@
+(* Michael–Scott lock-free MPMC queue: the injection queue of [Sched],
+   taking submissions from any domain (including non-workers, e.g. the
+   thread that calls [Sched.spawn] before the workers have started).
+
+   Classic two-CAS design with a dummy head node.  In a GC'd language
+   there is no ABA hazard and no free-list: a node unlinked from the
+   head is simply dropped.  OCaml [Atomic] is SC, covering all required
+   ordering. *)
+
+type 'a node = { value : 'a option; next : 'a node option Atomic.t }
+
+type 'a t = { head : 'a node Atomic.t; tail : 'a node Atomic.t }
+
+let create () =
+  let dummy = { value = None; next = Atomic.make None } in
+  { head = Atomic.make dummy; tail = Atomic.make dummy }
+
+let push t v =
+  let n = { value = Some v; next = Atomic.make None } in
+  let rec go () =
+    let tl = Atomic.get t.tail in
+    match Atomic.get tl.next with
+    | None ->
+        if Atomic.compare_and_set tl.next None (Some n) then
+          (* Swing the tail; failure means someone else already did. *)
+          ignore (Atomic.compare_and_set t.tail tl n)
+        else go ()
+    | Some nx ->
+        (* Tail is lagging: help it forward and retry. *)
+        ignore (Atomic.compare_and_set t.tail tl nx);
+        go ()
+  in
+  go ()
+
+let pop t =
+  let rec go () =
+    let hd = Atomic.get t.head in
+    match Atomic.get hd.next with
+    | None -> None
+    | Some nx ->
+        if Atomic.compare_and_set t.head hd nx then (
+          (* [nx] becomes the new dummy; its value is the payload. *)
+          match nx.value with
+          | Some _ as v -> v
+          | None -> assert false)
+        else go ()
+  in
+  go ()
+
+let is_empty t = Atomic.get (Atomic.get t.head).next = None

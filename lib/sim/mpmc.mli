@@ -1,0 +1,10 @@
+(** Michael–Scott lock-free MPMC FIFO queue: any domain may [push] or
+    [pop].  Used as the scheduler's injection queue for submissions
+    from off-worker contexts. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val is_empty : 'a t -> bool

@@ -212,3 +212,12 @@ let shared_pool () =
   in
   Mutex.unlock shared_m;
   p
+
+(* Tear down the shared pool so its worker domains don't sit idle (or
+   compete for cores with real-parallel backends) between bench
+   sections.  The next [shared_pool] call lazily re-creates it. *)
+let shutdown_shared () =
+  Mutex.lock shared_m;
+  (match !shared with Some p -> shutdown_pool p | None -> ());
+  shared := None;
+  Mutex.unlock shared_m

@@ -75,3 +75,9 @@ val shutdown_pool : pool -> unit
 val shared_pool : unit -> pool
 (** Process-wide pool, created on first use (at most
     [min 7 (default_jobs () - 1)] workers) and shut down [at_exit]. *)
+
+val shutdown_shared : unit -> unit
+(** Join the shared pool's worker domains now (no-op when absent).  The
+    next {!shared_pool} call re-creates it lazily — call between bench
+    sections or before real-parallel runs so idle pool domains don't
+    stay parked on the machine's cores. *)

@@ -1,0 +1,95 @@
+(* Chase–Lev work-stealing deque (SPMC): one owner pushes/pops at the
+   bottom, any number of thieves steal from the top.  OCaml [Atomic]
+   operations are sequentially consistent, which subsumes the fences the
+   original algorithm needs; being garbage-collected, slot reuse cannot
+   produce ABA on the values themselves — the only race that matters is
+   the top-index CAS, and whoever wins it owns the slot.
+
+   Used as the per-worker run queue of [Sched].  Correctness argument
+   for exactly-once delivery (also pinned by a qcheck property in
+   test/sim):
+
+   - [push] writes the slot before publishing it with the SC store to
+     [bottom], so any thief (or the owner) that observes the new bottom
+     also observes the slot contents.
+   - A slot is consumed either by the owner ([pop]) or by a thief
+     ([steal]); when both race for the last element they arbitrate with
+     a CAS on [top], and exactly one wins.
+   - [grow] copies the live window into a fresh buffer and publishes it
+     with a plain store; a thief still reading the old buffer sees
+     values that are still valid for its already-read top index, and
+     its CAS on [top] still decides ownership. *)
+
+type 'a t = {
+  top : int Atomic.t;        (* next index thieves steal from *)
+  bottom : int Atomic.t;     (* next index the owner pushes to *)
+  mutable buf : 'a option array;  (* circular, length a power of two *)
+}
+
+let create () =
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Array.make 16 None }
+
+let mask t = Array.length t.buf - 1
+
+(* Owner only.  Doubles the buffer, copying the live window [tp, b). *)
+let grow t tp b =
+  let old = t.buf in
+  let nbuf = Array.make (2 * Array.length old) None in
+  let omask = Array.length old - 1 and nmask = Array.length nbuf - 1 in
+  for i = tp to b - 1 do
+    nbuf.(i land nmask) <- old.(i land omask)
+  done;
+  t.buf <- nbuf
+
+(* Owner only. *)
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp >= Array.length t.buf then grow t tp b;
+  t.buf.(b land mask t) <- Some v;
+  Atomic.set t.bottom (b + 1)
+
+(* Owner only.  LIFO end. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Empty: restore bottom. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let v = t.buf.(b land mask t) in
+    if b > tp then begin
+      (* More than one element: the slot is ours without arbitration. *)
+      t.buf.(b land mask t) <- None;
+      v
+    end
+    else begin
+      (* Last element: race thieves for it via the CAS on [top]. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        t.buf.(b land mask t) <- None;
+        v
+      end
+      else None
+    end
+  end
+
+(* Thieves (any domain).  FIFO end. *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then None
+  else begin
+    (* Read the slot before the CAS: winning the CAS is what validates
+       the read (a concurrent [grow] leaves the old buffer intact). *)
+    let v = t.buf.(tp land mask t) in
+    if Atomic.compare_and_set t.top tp (tp + 1) then v else None
+  end
+
+(* Racy size estimate; only for heuristics/tests, never for
+   correctness. *)
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)

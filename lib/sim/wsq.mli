@@ -1,0 +1,20 @@
+(** Chase–Lev work-stealing deque (single owner, many thieves).
+    [push]/[pop] are owner-only; [steal] may be called from any domain.
+    Every pushed element is delivered exactly once, to either the owner
+    or one thief (property-tested in test/sim). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only; LIFO end. *)
+
+val steal : 'a t -> 'a option
+(** Any domain; FIFO end.  [None] on empty or lost race. *)
+
+val size : 'a t -> int
+(** Racy estimate; heuristics only. *)

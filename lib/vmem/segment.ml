@@ -6,12 +6,23 @@ type entry = { committer : int; page_idxs : int array }
    [off, off+len).  Appends go at the end (commits create monotonically
    increasing versions); GC drops an obsolete prefix by advancing [off].
    Lookup of "newest snapshot at version <= v" is a binary search, with an
-   O(1) fast path for the common latest-version read. *)
+   O(1) fast path for the common latest-version read.
+
+   [len] is the publication point for lock-free readers: the
+   real-multicore runtime reads pages ([read_page]) without the global
+   runtime lock while the token holder appends snapshots.  [hist_append]
+   performs all plain writes (slot fill, array swaps on realloc) before
+   the SC store to [len]; a reader loads [len] first, so the plain array
+   reads that follow are at least as new as that store (OCaml's
+   message-passing guarantee), and entries below the observed [len] are
+   immutable once published.  GC mutates [off]/drops entries, which is
+   only safe single-domain — the domains runtime disables segment GC, so
+   [off] stays 0 there. *)
 type hist = {
   mutable vs : int array;
   mutable ps : Page.t array;
   mutable off : int;
-  mutable len : int;
+  len : int Atomic.t;
 }
 
 type t = {
@@ -40,36 +51,44 @@ type t = {
   mutable gc_shard : int;  (* next shard the incremental collector steps *)
 }
 
-let hist_create () = { vs = [||]; ps = [||]; off = 0; len = 0 }
+let hist_create () = { vs = [||]; ps = [||]; off = 0; len = Atomic.make 0 }
 
 let hist_append h ~zero v p =
+  let len = Atomic.get h.len in
   let cap = Array.length h.vs in
-  if h.off + h.len = cap then begin
-    if h.len * 2 <= cap && cap > 0 then begin
-      (* Plenty of dead prefix: compact in place. *)
-      Array.blit h.vs h.off h.vs 0 h.len;
-      Array.blit h.ps h.off h.ps 0 h.len;
-      Array.fill h.ps h.len (cap - h.len) zero
+  if h.off + len = cap then begin
+    if len * 2 <= cap && cap > 0 then begin
+      (* Plenty of dead prefix: compact in place.  Only reachable after
+         GC advanced [off], i.e. never under the domains runtime. *)
+      Array.blit h.vs h.off h.vs 0 len;
+      Array.blit h.ps h.off h.ps 0 len;
+      Array.fill h.ps len (cap - len) zero
     end
     else begin
-      let new_cap = max 4 (h.len * 2) in
+      let new_cap = max 4 (len * 2) in
       let vs = Array.make new_cap 0 and ps = Array.make new_cap zero in
-      Array.blit h.vs h.off vs 0 h.len;
-      Array.blit h.ps h.off ps 0 h.len;
+      Array.blit h.vs h.off vs 0 len;
+      Array.blit h.ps h.off ps 0 len;
       h.vs <- vs;
       h.ps <- ps
     end;
     h.off <- 0
   end;
-  h.vs.(h.off + h.len) <- v;
-  h.ps.(h.off + h.len) <- p;
-  h.len <- h.len + 1
+  h.vs.(h.off + len) <- v;
+  h.ps.(h.off + len) <- p;
+  (* Publish: every plain write above must be visible before the new
+     length (see the [hist] comment). *)
+  Atomic.set h.len (len + 1)
 
-(* Index (into vs/ps) of the newest entry with version <= v, or -1. *)
+(* Index (into vs/ps) of the newest entry with version <= v, or -1.
+   Reads [len] first so the array reads below it are covered by the
+   publication order; a concurrently swapped (grown) array holds the
+   same entries at the same indices while [off] is 0. *)
 let hist_find h v =
-  if h.len = 0 || v < h.vs.(h.off) then -1
+  let len = Atomic.get h.len in
+  if len = 0 || v < h.vs.(h.off) then -1
   else begin
-    let last = h.off + h.len - 1 in
+    let last = h.off + len - 1 in
     if v >= h.vs.(last) then last
     else begin
       (* Invariant: vs.(lo) <= v < vs.(hi). *)
@@ -82,7 +101,9 @@ let hist_find h v =
     end
   end
 
-let hist_latest h ~zero = if h.len = 0 then zero else h.ps.(h.off + h.len - 1)
+let hist_latest h ~zero =
+  let len = Atomic.get h.len in
+  if len = 0 then zero else h.ps.(h.off + len - 1)
 
 let create ?(name = "segment") ~pages ~page_size () =
   if pages <= 0 then invalid_arg "Segment.create: pages must be > 0";
@@ -127,7 +148,7 @@ let set_shards t n =
   t.gc_shard <- 0;
   for i = 0 to t.npages - 1 do
     let s = shard_of_page t i in
-    t.shard_live.(s) <- t.shard_live.(s) + t.histories.(i).len
+    t.shard_live.(s) <- t.shard_live.(s) + Atomic.get t.histories.(i).len
   done
 
 let check_page t i =
@@ -293,7 +314,7 @@ let gc_page t ~min_base i =
     (* Release the dropped snapshots so the runtime GC can reclaim them. *)
     Array.fill h.ps h.off dropped t.zero;
     h.off <- k;
-    h.len <- h.len - dropped;
+    Atomic.set h.len (Atomic.get h.len - dropped);
     t.live <- t.live - dropped;
     let s = shard_of_page t i in
     t.shard_live.(s) <- t.shard_live.(s) - dropped;

@@ -202,7 +202,7 @@ let test_lc_counts_sorted () =
 let token_scenario ~ordering ~n body =
   let eng = Sim.Engine.create ~seed:1 () in
   let clocks = Lc.create () in
-  let token = Tok.create eng clocks ordering in
+  let token = Tok.create (Sim.Exec.of_engine eng) clocks ordering in
   let order = ref [] in
   for tid = 0 to n - 1 do
     let expect =
@@ -266,7 +266,7 @@ let test_token_waits_for_nonwaiting_winner () =
      clock must wait until the GMIC thread's published clock passes it. *)
   let eng = Sim.Engine.create ~seed:1 () in
   let clocks = Lc.create () in
-  let token = Tok.create eng clocks Tok.Instruction_count in
+  let token = Tok.create (Sim.Exec.of_engine eng) clocks Tok.Instruction_count in
   let acquired_at = ref (-1) in
   ignore
     (Sim.Engine.spawn eng ~name:"busy" (fun () ->
@@ -295,7 +295,7 @@ let test_token_depart_unblocks_waiter () =
      with a larger clock must immediately become eligible. *)
   let eng = Sim.Engine.create ~seed:1 () in
   let clocks = Lc.create () in
-  let token = Tok.create eng clocks Tok.Instruction_count in
+  let token = Tok.create (Sim.Exec.of_engine eng) clocks Tok.Instruction_count in
   let got = ref false in
   ignore
     (Sim.Engine.spawn eng ~name:"low" (fun () ->
@@ -323,7 +323,7 @@ let test_token_depart_unblocks_waiter () =
 let test_token_release_without_hold_raises () =
   let eng = Sim.Engine.create ~seed:1 () in
   let clocks = Lc.create () in
-  let token = Tok.create eng clocks Tok.Instruction_count in
+  let token = Tok.create (Sim.Exec.of_engine eng) clocks Tok.Instruction_count in
   let raised = ref false in
   ignore
     (Sim.Engine.spawn eng (fun () ->
@@ -335,7 +335,7 @@ let test_token_release_without_hold_raises () =
 let test_token_last_release_published () =
   let eng = Sim.Engine.create ~seed:1 () in
   let clocks = Lc.create () in
-  let token = Tok.create eng clocks Tok.Instruction_count in
+  let token = Tok.create (Sim.Exec.of_engine eng) clocks Tok.Instruction_count in
   ignore
     (Sim.Engine.spawn eng (fun () ->
          let c = Lc.register clocks ~tid:0 in
@@ -350,7 +350,7 @@ let test_token_last_release_published () =
 let test_token_holder_and_waiting_introspection () =
   let eng = Sim.Engine.create ~seed:1 () in
   let clocks = Lc.create () in
-  let token = Tok.create eng clocks Tok.Instruction_count in
+  let token = Tok.create (Sim.Exec.of_engine eng) clocks Tok.Instruction_count in
   let observed_holder = ref None in
   let observed_waiting = ref false in
   ignore
@@ -386,7 +386,7 @@ let test_token_handoff_single_wakeup () =
      exactly one engine wakeup — never a broadcast over the waiter set. *)
   let eng = Sim.Engine.create ~seed:1 () in
   let clocks = Lc.create () in
-  let token = Tok.create eng clocks Tok.Instruction_count in
+  let token = Tok.create (Sim.Exec.of_engine eng) clocks Tok.Instruction_count in
   let spawn tid ticks =
     ignore
       (Sim.Engine.spawn eng ~name:(Printf.sprintf "t%d" tid) (fun () ->
@@ -412,7 +412,7 @@ let test_token_handoff_single_wakeup () =
 let test_token_eligible_now () =
   let clocks = Lc.create () in
   let eng = Sim.Engine.create ~seed:1 () in
-  let token = Tok.create eng clocks Tok.Instruction_count in
+  let token = Tok.create (Sim.Exec.of_engine eng) clocks Tok.Instruction_count in
   check_opt_int "nobody" None (Tok.eligible_now token);
   let c0 = Lc.register clocks ~tid:0 in
   check_opt_int "tid 0" (Some 0) (Tok.eligible_now token);

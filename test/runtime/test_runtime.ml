@@ -759,7 +759,12 @@ let golden_witnesses =
     ("canneal", "dthreads", 1, 4, "mem:7f529a7d5585192f|sync:6b233b1f658b0954|out:4fc780561cfa8a57");
     ("canneal", "dthreads", 7, 8, "mem:e6adc733da6dcdc9|sync:efb24da613802c58|out:4fdbfa561d0c02af");
     ("ferret", "ic", 1, 4, "mem:2d65179d8ddd1dc4|sync:b3f68333e65a073c|out:3c728c8cc38ca406");
-    ("ferret", "ic", 7, 8, "mem:77d2016c8b869745|sync:eeecf8bede367703|out:3c728c8cc38ca406");
+    (* Re-captured when grant's fast-forward target became the waker's
+       fully-published count (it previously embedded the overflow
+       publication schedule, which is real-time dependent on the
+       domains backend).  Only this configuration exercised a
+       coarsened-unlock grant with unpublished instructions. *)
+    ("ferret", "ic", 7, 8, "mem:7ac6ba1edded963a|sync:25023183ee3e56be|out:3c728c8cc38ca406");
     ("ferret", "rr", 1, 4, "mem:2d65179d8ddd1dc4|sync:95250b1455c9ba75|out:3c728c8cc38ca406");
     ("ferret", "rr", 7, 8, "mem:631f100e7411bb45|sync:a0986ee5e8ec2cd5|out:3c728c8cc38ca406");
     ("ferret", "dthreads", 1, 4, "mem:2d65179d8ddd1dc4|sync:482306b4c8cc2625|out:3c728c8cc38ca406");
@@ -789,7 +794,7 @@ let test_parallel_commit_witness_identity () =
       List.iter
         (fun rt ->
           match rt with
-          | R.Pthreads -> ()
+          | R.Pthreads | R.Domains _ -> ()
           | R.Det cfg ->
               List.iter
                 (fun seed ->
@@ -823,6 +828,70 @@ let test_golden_witnesses () =
         (Printf.sprintf "%s/%s seed=%d t=%d" bench rt_name seed threads)
         expected got)
     golden_witnesses
+
+(* --- Real-multicore identity (Domains_rt vs the DES) ------------------ *)
+
+let domains_witness ?(cfg = Runtime.Config.consequence_ic) ~domains ~seed program =
+  Res.deterministic_witness
+    (Runtime.Domains_rt.run cfg ~domains ~seed ~nthreads:8 program)
+
+(* The tentpole claim of the real-multicore backend: running the very
+   same Consequence algorithms on OCaml 5 domains yields a witness
+   byte-identical to the DES, for every registry workload, across seeds
+   {1,7} and domain counts {1, 2, auto}. *)
+let test_domains_witness_identity () =
+  List.iter
+    (fun (entry : Workload.Registry.entry) ->
+      List.iter
+        (fun seed ->
+          let des =
+            Res.deterministic_witness
+              (R.run R.consequence_ic ~seed ~nthreads:8 entry.program)
+          in
+          List.iter
+            (fun domains ->
+              check_string
+                (Printf.sprintf "%s seed=%d domains=%d" entry.program.Api.name seed
+                   domains)
+                des
+                (domains_witness ~domains ~seed entry.program))
+            [ 1; 2; 0 ])
+        [ 1; 7 ])
+    Workload.Registry.all
+
+(* Same identity for the pipelined sharded-commit configuration, on a
+   subset (the full matrix above already covers the base config). *)
+let test_domains_pipe_witness_identity () =
+  let pipe =
+    Runtime.Config.with_incremental_gc
+      (Runtime.Config.with_commit_shards
+         (Runtime.Config.with_pipelined_commit Runtime.Config.consequence_ic)
+         8)
+  in
+  List.iter
+    (fun bench ->
+      let program = (Workload.Registry.find bench).Workload.Registry.program in
+      let des =
+        Res.deterministic_witness (R.run (R.Det pipe) ~seed:1 ~nthreads:8 program)
+      in
+      check_string
+        (Printf.sprintf "%s pipe domains=2" bench)
+        des
+        (domains_witness ~cfg:pipe ~domains:2 ~seed:1 program))
+    [ "histogram"; "word_count"; "dedup"; "barnes" ]
+
+(* Cheap always-on cross-check so plain `dune runtest` exercises the
+   real-parallel path (the full sweep above is `Slow). *)
+let test_domains_witness_identity_quick () =
+  List.iter
+    (fun bench ->
+      let program = (Workload.Registry.find bench).Workload.Registry.program in
+      let des =
+        Res.deterministic_witness (R.run R.consequence_ic ~seed:1 ~nthreads:8 program)
+      in
+      check_string (Printf.sprintf "%s quick domains=2" bench) des
+        (domains_witness ~domains:2 ~seed:1 program))
+    [ "histogram"; "string_match"; "swaptions" ]
 
 let () =
   Alcotest.run "runtime"
@@ -894,5 +963,14 @@ let () =
           Alcotest.test_case "witnesses match pre-rewrite baseline" `Slow test_golden_witnesses;
           Alcotest.test_case "pipelined sharded commit witness-identical" `Slow
             test_parallel_commit_witness_identity;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "witness-identical to DES (quick)" `Quick
+            test_domains_witness_identity_quick;
+          Alcotest.test_case "witness-identical across seeds and domain counts" `Slow
+            test_domains_witness_identity;
+          Alcotest.test_case "pipelined config witness-identical" `Slow
+            test_domains_pipe_witness_identity;
         ] );
     ]
