@@ -415,7 +415,7 @@ let fig f =
   Figures.Fig_output.to_json out
 
 let run_section ~threads name =
-  let w0 = Unix.gettimeofday () in
+  let w0 = Monotonic_clock.now () in
   let json =
     match name with
     | "fig10" -> fig (fun () -> Figures.Fig10.run ~threads ())
@@ -461,7 +461,7 @@ let run_section ~threads name =
   (* Every section dump also records how long the section itself took to
      produce, next to its simulated quantities.  Adding a top-level field
      keeps every existing BENCH_* schema backward-readable. *)
-  let wall_ns = int_of_float ((Unix.gettimeofday () -. w0) *. 1e9) in
+  let wall_ns = Int64.to_int (Int64.sub (Monotonic_clock.now ()) w0) in
   let json =
     match json with
     | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ [ ("wall_ns", Obs.Json.Int wall_ns) ])
@@ -511,7 +511,7 @@ let () =
   let threads = if full then full_threads else quick_threads in
   let sections = List.filter (fun a -> a <> "full") args in
   let sections = if sections = [] then section_names else sections in
-  let w0 = Unix.gettimeofday () in
+  let w0 = Monotonic_clock.now () in
   let t0 = Sys.time () in
   List.iter
     (fun s ->
@@ -524,6 +524,6 @@ let () =
       print_newline ())
     sections;
   Printf.printf "bench complete in %.1f s wall / %.1f s cpu (%d job%s)\n"
-    (Unix.gettimeofday () -. w0)
+    (Int64.to_float (Int64.sub (Monotonic_clock.now ()) w0) /. 1e9)
     (Sys.time () -. t0) (Sim.Par.jobs ())
     (if Sim.Par.jobs () = 1 then "" else "s")

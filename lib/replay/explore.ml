@@ -72,7 +72,7 @@ let perturb prng (bounds : int array array) =
 
 let base_config (log : Schedule.t) =
   let name = log.Schedule.meta.Schedule.runtime in
-  match List.find_opt (fun rt -> Runtime.Run.name rt = name) Runtime.Run.all with
+  match Runtime.Run.of_name name with
   | Some (Runtime.Run.Det cfg) | Some (Runtime.Run.Domains cfg) -> cfg
   | Some Runtime.Run.Pthreads ->
       invalid_arg "Explore.explore: pthreads logs have no chunk boundaries to perturb"

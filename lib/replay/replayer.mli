@@ -20,7 +20,14 @@
     ids, and the per-commit workspace digests ([Commit_hash]).  The
     first mismatch is reported with its thread, chunk index and a window
     of surrounding log events — enough to localize {e where} an
-    execution left the recorded schedule, not merely that it did. *)
+    execution left the recorded schedule, not merely that it did.
+
+    Logs recorded under the real-multicore [domains] preset re-execute
+    on the scripted DES like any deterministic preset, but skip the
+    event-by-event walk: a real-time backend's global event interleave
+    is timing-dependent (waiters emit on physical wakeup; intermediate
+    overflow publications vary in count and position), so faithfulness
+    is judged by the witness hashes alone and [checked] is 0. *)
 
 type divergence = {
   index : int;  (** position in the event stream of the first mismatch *)

@@ -45,8 +45,12 @@ let run cfg ?domains ?costs ?seed ?nthreads ?observer ?obs (program : Api.t) =
     | None -> Sim.Par.jobs ()
   in
   let sched = Sim.Sched.create ~workers () in
-  let t0 = Unix.gettimeofday () in
-  let wall_now () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+  (* CLOCK_MONOTONIC via bechamel's stub: [Exec.now] must be monotone
+     (Det_rt subtracts readings for wait/hold metrics), which
+     [Unix.gettimeofday] is not — an NTP step would yield negative or
+     inflated wall:* intervals. *)
+  let t0 = Monotonic_clock.now () in
+  let wall_now () = Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0) in
   let prng = Sim.Prng.create ~seed:(Option.value seed ~default:1) in
   let spin n =
     (* Release the runtime lock while the chunk's instructions execute:
@@ -69,6 +73,11 @@ let run cfg ?domains ?costs ?seed ?nthreads ?observer ?obs (program : Api.t) =
       unlock = (fun () -> Sim.Sched.unlock sched);
     }
   in
+  (* Report the Run-level preset name ("<cfg>-domains", as in
+     [Run.name]) so run results and recorded schedules are attributed
+     to this backend and resolve back through [Run.of_name] — the
+     replayer then re-executes them on the scripted DES. *)
+  let cfg = Config.with_name cfg (cfg.Config.name ^ "-domains") in
   Det_rt.run_exec cfg ~ex
     ~start:(fun () -> Sim.Sched.run sched)
     ?costs ?seed ?nthreads ?observer ?obs program

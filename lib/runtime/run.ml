@@ -17,6 +17,11 @@ let domains = Domains Config.consequence_ic
    held to (witnesses still match — see test/runtime). *)
 let all = [ pthreads; dthreads; dwc; consequence_rr; consequence_ic ]
 
+(* Name resolution must still cover [Domains] — schedules recorded under
+   "consequence-ic-domains" are replayed (on the DES) by looking their
+   preset up by name. *)
+let of_name n = List.find_opt (fun rt -> String.equal (name rt) n) (all @ [ domains ])
+
 let deterministic = function
   | Pthreads -> false
   | Det cfg | Domains cfg -> cfg.Config.counter_jitter_ppm = 0

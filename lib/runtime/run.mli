@@ -22,6 +22,11 @@ val domains : runtime
 val all : runtime list
 (** pthreads + the four deterministic libraries, in Fig 10 display order. *)
 
+val of_name : string -> runtime option
+(** Resolve a preset by its {!name}.  Covers {!all} plus {!domains}
+    (which [all] excludes), so schedules recorded under the domains
+    runtime still resolve. *)
+
 val deterministic : runtime -> bool
 (** Whether the runtime guarantees determinism (i.e. everything except
     [Pthreads] — assuming exact performance counters). *)

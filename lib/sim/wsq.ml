@@ -15,38 +15,49 @@
    - A slot is consumed either by the owner ([pop]) or by a thief
      ([steal]); when both race for the last element they arbitrate with
      a CAS on [top], and exactly one wins.
-   - [grow] copies the live window into a fresh buffer and publishes it
-     with a plain store; a thief still reading the old buffer sees
-     values that are still valid for its already-read top index, and
-     its CAS on [top] still decides ownership. *)
+   - The buffer itself lives in an [Atomic] (as in Le et al.'s weak
+     memory formulation): [grow] copies the live window [top, bottom)
+     into a fresh buffer and publishes it with the SC store, so a thief
+     that loads the new buffer also sees the copied contents.  [steal]
+     loads the buffer exactly once and derives the mask from that same
+     snapshot — index and mask can never come from different buffers.
+     Whichever snapshot a thief holds, slot [top land mask] contains
+     element [top] as long as [top] is inside the window the snapshot
+     was built from; if it is not (the element was consumed or the
+     copy started past it), [top] has since moved, and the thief's CAS
+     on [top] fails, discarding the stale read. *)
 
 type 'a t = {
   top : int Atomic.t;        (* next index thieves steal from *)
   bottom : int Atomic.t;     (* next index the owner pushes to *)
-  mutable buf : 'a option array;  (* circular, length a power of two *)
+  buf : 'a option array Atomic.t;  (* circular, length a power of two *)
 }
 
 let create () =
-  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Array.make 16 None }
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.make 16 None);
+  }
 
-let mask t = Array.length t.buf - 1
-
-(* Owner only.  Doubles the buffer, copying the live window [tp, b). *)
+(* Owner only.  Doubles the buffer, copying the live window [tp, b),
+   then publishes it with the SC store to [buf]. *)
 let grow t tp b =
-  let old = t.buf in
+  let old = Atomic.get t.buf in
   let nbuf = Array.make (2 * Array.length old) None in
   let omask = Array.length old - 1 and nmask = Array.length nbuf - 1 in
   for i = tp to b - 1 do
     nbuf.(i land nmask) <- old.(i land omask)
   done;
-  t.buf <- nbuf
+  Atomic.set t.buf nbuf
 
 (* Owner only. *)
 let push t v =
   let b = Atomic.get t.bottom in
   let tp = Atomic.get t.top in
-  if b - tp >= Array.length t.buf then grow t tp b;
-  t.buf.(b land mask t) <- Some v;
+  if b - tp >= Array.length (Atomic.get t.buf) then grow t tp b;
+  let buf = Atomic.get t.buf in
+  buf.(b land (Array.length buf - 1)) <- Some v;
   Atomic.set t.bottom (b + 1)
 
 (* Owner only.  LIFO end. *)
@@ -60,10 +71,12 @@ let pop t =
     None
   end
   else begin
-    let v = t.buf.(b land mask t) in
+    let buf = Atomic.get t.buf in
+    let mask = Array.length buf - 1 in
+    let v = buf.(b land mask) in
     if b > tp then begin
       (* More than one element: the slot is ours without arbitration. *)
-      t.buf.(b land mask t) <- None;
+      buf.(b land mask) <- None;
       v
     end
     else begin
@@ -71,7 +84,7 @@ let pop t =
       let won = Atomic.compare_and_set t.top tp (tp + 1) in
       Atomic.set t.bottom (tp + 1);
       if won then begin
-        t.buf.(b land mask t) <- None;
+        buf.(b land mask) <- None;
         v
       end
       else None
@@ -84,9 +97,13 @@ let steal t =
   let b = Atomic.get t.bottom in
   if tp >= b then None
   else begin
-    (* Read the slot before the CAS: winning the CAS is what validates
-       the read (a concurrent [grow] leaves the old buffer intact). *)
-    let v = t.buf.(tp land mask t) in
+    (* One buffer snapshot: both the element read and the mask come
+       from it.  Winning the CAS is what validates the read — if a
+       concurrent [grow] replaced the buffer and [tp] fell outside the
+       copied window, [top] has necessarily advanced and the CAS
+       fails. *)
+    let buf = Atomic.get t.buf in
+    let v = buf.(tp land (Array.length buf - 1)) in
     if Atomic.compare_and_set t.top tp (tp + 1) then v else None
   end
 

@@ -8,19 +8,26 @@ type entry = { committer : int; page_idxs : int array }
    Lookup of "newest snapshot at version <= v" is a binary search, with an
    O(1) fast path for the common latest-version read.
 
-   [len] is the publication point for lock-free readers: the
-   real-multicore runtime reads pages ([read_page]) without the global
-   runtime lock while the token holder appends snapshots.  [hist_append]
-   performs all plain writes (slot fill, array swaps on realloc) before
-   the SC store to [len]; a reader loads [len] first, so the plain array
-   reads that follow are at least as new as that store (OCaml's
-   message-passing guarantee), and entries below the observed [len] are
-   immutable once published.  GC mutates [off]/drops entries, which is
-   only safe single-domain — the domains runtime disables segment GC, so
-   [off] stays 0 there. *)
+   Publication protocol for lock-free readers (the real-multicore
+   runtime reads pages ([read_page]) without the global runtime lock
+   while the token holder appends snapshots):
+
+   - The [vs]/[ps] pair lives behind an [Atomic]; a realloc blits the
+     live entries into fresh arrays and publishes them with the SC
+     store to [arrays], so a reader that loads the new pair also sees
+     the blitted contents (no plain-pointer race).
+   - [hist_append] fills the new slot with plain writes before the SC
+     store to [len]; a reader loads [len] first, then [arrays].  SC
+     ordering makes the [arrays] snapshot at least as new as the one
+     in place when the observed [len] was published, and while [off]
+     is 0 every snapshot holds the same entries at the same indices
+     below that [len] — entries are immutable once published.
+   - GC mutates [off]/drops entries, which is only safe single-domain —
+     the domains runtime disables segment GC, so [off] stays 0 there. *)
+type arrays = { vs : int array; ps : Page.t array }
+
 type hist = {
-  mutable vs : int array;
-  mutable ps : Page.t array;
+  arrays : arrays Atomic.t;
   mutable off : int;
   len : int Atomic.t;
 }
@@ -51,59 +58,77 @@ type t = {
   mutable gc_shard : int;  (* next shard the incremental collector steps *)
 }
 
-let hist_create () = { vs = [||]; ps = [||]; off = 0; len = Atomic.make 0 }
+let hist_create () =
+  { arrays = Atomic.make { vs = [||]; ps = [||] }; off = 0; len = Atomic.make 0 }
 
 let hist_append h ~zero v p =
   let len = Atomic.get h.len in
-  let cap = Array.length h.vs in
-  if h.off + len = cap then begin
-    if len * 2 <= cap && cap > 0 then begin
-      (* Plenty of dead prefix: compact in place.  Only reachable after
-         GC advanced [off], i.e. never under the domains runtime. *)
-      Array.blit h.vs h.off h.vs 0 len;
-      Array.blit h.ps h.off h.ps 0 len;
-      Array.fill h.ps len (cap - len) zero
-    end
+  let a = Atomic.get h.arrays in
+  let cap = Array.length a.vs in
+  let a =
+    if h.off + len <> cap then a
     else begin
-      let new_cap = max 4 (len * 2) in
-      let vs = Array.make new_cap 0 and ps = Array.make new_cap zero in
-      Array.blit h.vs h.off vs 0 len;
-      Array.blit h.ps h.off ps 0 len;
-      h.vs <- vs;
-      h.ps <- ps
-    end;
-    h.off <- 0
-  end;
-  h.vs.(h.off + len) <- v;
-  h.ps.(h.off + len) <- p;
+      let a =
+        if len * 2 <= cap && cap > 0 then begin
+          (* Plenty of dead prefix: compact in place.  Only reachable
+             after GC advanced [off], i.e. never under the domains
+             runtime (no concurrent readers of the moved slots). *)
+          Array.blit a.vs h.off a.vs 0 len;
+          Array.blit a.ps h.off a.ps 0 len;
+          Array.fill a.ps len (cap - len) zero;
+          a
+        end
+        else begin
+          let new_cap = max 4 (len * 2) in
+          let vs = Array.make new_cap 0 and ps = Array.make new_cap zero in
+          Array.blit a.vs h.off vs 0 len;
+          Array.blit a.ps h.off ps 0 len;
+          let na = { vs; ps } in
+          (* Publish the grown arrays with the SC store so a reader
+             that loads [na] also sees the blitted entries (see the
+             [hist] comment). *)
+          Atomic.set h.arrays na;
+          na
+        end
+      in
+      h.off <- 0;
+      a
+    end
+  in
+  a.vs.(h.off + len) <- v;
+  a.ps.(h.off + len) <- p;
   (* Publish: every plain write above must be visible before the new
      length (see the [hist] comment). *)
   Atomic.set h.len (len + 1)
 
-(* Index (into vs/ps) of the newest entry with version <= v, or -1.
-   Reads [len] first so the array reads below it are covered by the
-   publication order; a concurrently swapped (grown) array holds the
-   same entries at the same indices while [off] is 0. *)
-let hist_find h v =
+(* Newest entry with version <= v: returns its index (into the returned
+   snapshot's vs/ps) and the snapshot itself, or -1.  Reads [len]
+   before [arrays] so the snapshot is at least as new as the one the
+   observed [len] was published against (see the [hist] comment). *)
+let hist_lookup h v =
   let len = Atomic.get h.len in
-  if len = 0 || v < h.vs.(h.off) then -1
+  let a = Atomic.get h.arrays in
+  if len = 0 || v < a.vs.(h.off) then (-1, a)
   else begin
     let last = h.off + len - 1 in
-    if v >= h.vs.(last) then last
+    if v >= a.vs.(last) then (last, a)
     else begin
       (* Invariant: vs.(lo) <= v < vs.(hi). *)
       let lo = ref h.off and hi = ref last in
       while !hi - !lo > 1 do
         let mid = (!lo + !hi) / 2 in
-        if h.vs.(mid) <= v then lo := mid else hi := mid
+        if a.vs.(mid) <= v then lo := mid else hi := mid
       done;
-      !lo
+      (!lo, a)
     end
   end
 
 let hist_latest h ~zero =
   let len = Atomic.get h.len in
-  if len = 0 then zero else h.ps.(h.off + len - 1)
+  if len = 0 then zero
+  else
+    let a = Atomic.get h.arrays in
+    a.ps.(h.off + len - 1)
 
 let create ?(name = "segment") ~pages ~page_size () =
   if pages <= 0 then invalid_arg "Segment.create: pages must be > 0";
@@ -158,8 +183,8 @@ let check_page t i =
 let read_page t ~version i =
   check_page t i;
   let h = t.histories.(i) in
-  let k = hist_find h version in
-  if k < 0 then t.zero else h.ps.(k)
+  let k, a = hist_lookup h version in
+  if k < 0 then t.zero else a.ps.(k)
 
 let last_mod t i =
   check_page t i;
@@ -307,12 +332,12 @@ let gc_page t ~min_base i =
   (* Keep the newest snapshot at version <= min_base plus everything newer;
      drop the obsolete prefix.  Returns snapshots dropped. *)
   let h = t.histories.(i) in
-  let k = hist_find h min_base in
+  let k, a = hist_lookup h min_base in
   if k <= h.off then 0
   else begin
     let dropped = k - h.off in
     (* Release the dropped snapshots so the runtime GC can reclaim them. *)
-    Array.fill h.ps h.off dropped t.zero;
+    Array.fill a.ps h.off dropped t.zero;
     h.off <- k;
     Atomic.set h.len (Atomic.get h.len - dropped);
     t.live <- t.live - dropped;

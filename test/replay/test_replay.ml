@@ -107,6 +107,24 @@ let test_whole_registry_once () =
           (Format.asprintf "%a" Rep.pp_outcome o))
     Workload.Registry.names
 
+let test_domains_log_replays_on_des () =
+  (* A schedule recorded under the real-multicore runtime must resolve
+     by name ("consequence-ic-domains" is not in [Run.all]) and replay
+     on the scripted DES with identical witnesses — regression for the
+     [runtime_of] lookup.  The event-by-event walk is skipped for
+     domains logs (their global interleave is timing-dependent), so
+     faithfulness here means witness identity, not stream identity. *)
+  let prog = program_of "kmeans" in
+  let log, res = Sch.record Runtime.Run.domains ~seed:3 ~nthreads:8 prog in
+  check_string "log names the domains preset" "consequence-ic-domains"
+    log.Sch.meta.Sch.runtime;
+  let o = Rep.replay log prog in
+  check_bool "replay ok" true (Rep.ok o);
+  check_bool "no divergence reported" true (o.Rep.divergence = None);
+  check_int "event walk skipped" 0 o.Rep.checked;
+  check_bool "witnesses match" true o.Rep.hash_match;
+  check_string "same mem hash" res.Res.mem_hash o.Rep.result.Res.mem_hash
+
 (* ------------------------------------------------------------------ *)
 (* Recording neutrality                                               *)
 (* ------------------------------------------------------------------ *)
@@ -353,6 +371,8 @@ let () =
             test_det_replay_has_boundaries;
           Alcotest.test_case "pthreads pinning x5" `Quick test_pthreads_pinning;
           Alcotest.test_case "whole registry" `Quick test_whole_registry_once;
+          Alcotest.test_case "domains log replays on the DES" `Quick
+            test_domains_log_replays_on_des;
           QCheck_alcotest.to_alcotest prop_registry_record_replay;
           QCheck_alcotest.to_alcotest prop_pthreads_replay_byte_identical;
         ] );
