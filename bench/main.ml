@@ -10,7 +10,7 @@
      bench/main.exe -j 4 all        fan the sweeps over 4 domains
    Sections: fig10 fig11 fig12 fig13 fig14 fig15 fig16 determinism tso
    races climit soundness locking chunking micro sched replay profile
-   commit domains.
+   commit domains kv.
 
    [-j N] sets the worker-domain count for the figure sweeps (0 = one
    per recommended domain); results are gathered in input order, so the
@@ -24,7 +24,7 @@ let section_names =
   [
     "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "determinism"; "tso";
     "races"; "climit"; "soundness"; "locking"; "chunking"; "micro"; "sched"; "replay";
-    "profile"; "commit"; "domains";
+    "profile"; "commit"; "domains"; "kv";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -446,6 +446,7 @@ let run_section ~threads name =
        whole point is the high-thread-count regime, and the simulations
        are cheap (a commit-bound microbenchmark, not a figure sweep). *)
     | "commit" -> fig (fun () -> Figures.Commit_report.run ())
+    | "kv" -> fig (fun () -> Figures.Kv_report.run ())
     | "domains" ->
         let figure = fig (fun () -> Figures.Domains_calib.run ()) in
         Obs.Json.Obj

@@ -24,6 +24,13 @@ type ops = {
   join : thread -> unit;
   log_output : string -> unit;
   yield : unit -> unit;
+  base_version : unit -> int;
+  snapshot_read : version:int -> addr:int -> len:int -> Bytes.t;
+  now_ns : unit -> int;
+  metric_incr : string -> int -> unit;
+  metric_observe : string -> int -> unit;
+  txn_validate : keys:int -> unit;
+  txn_abort : seq:int -> retries:int -> unit;
 }
 
 type t = {

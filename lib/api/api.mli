@@ -53,6 +53,38 @@ type ops = {
           part of the determinism witness *)
   yield : unit -> unit;
       (** hint only; lets the nondeterministic baseline reschedule *)
+  base_version : unit -> int;
+      (** the committed memory version this thread's view is based on
+          (the workspace base under the versioned runtimes; always 0
+          under pthreads, whose flat heap has no version history).  The
+          value is runtime- and schedule-dependent: use it only as a pin
+          for {!field-snapshot_read}, never in program outputs. *)
+  snapshot_read : version:int -> addr:int -> len:int -> Bytes.t;
+      (** read the committed image pinned at [version] (a value obtained
+          from {!field-base_version}): a consistent point-in-time view
+          served from the segment's version histories with no fault, no
+          copy-on-write, and no validation — the substrate for
+          snapshot (read-only) transactions.  Under pthreads this reads
+          current memory, which coincides whenever the program
+          guarantees no concurrent writers to the range (as the kv
+          round protocol does). *)
+  now_ns : unit -> int;
+      (** current simulated (DES) or real (domains) time.  Varies across
+          runtimes and seeds: feed it only to metrics (latency
+          histograms), never into control flow or outputs. *)
+  metric_incr : string -> int -> unit;
+      (** bump a named counter in the run's {!Obs.Metrics} registry *)
+  metric_observe : string -> int -> unit;
+      (** record a named histogram observation (e.g. a request latency) *)
+  txn_validate : keys:int -> unit;
+      (** charge the cost-model price of validating one software
+          transaction whose intent lists total [keys] entries; accounted
+          as the [Txn_validate] thread state *)
+  txn_abort : seq:int -> retries:int -> unit;
+      (** charge one transaction abort (plus [retries] deterministic
+          backoff units) and emit an {!Rt_event.Txn_abort} event carrying
+          [seq], so abort decisions are part of the recorded, replayable
+          event stream; accounted as the [Txn_abort] thread state *)
 }
 
 type t = {

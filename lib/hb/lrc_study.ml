@@ -106,7 +106,8 @@ let observer t (ev : Runtime.Rt_event.t) =
         Hashtbl.replace t.thread_vc tid new_vc
       end
   | Runtime.Rt_event.Conflict _ -> ()
-  | Runtime.Rt_event.Boundary _ | Runtime.Rt_event.Commit_hash _ ->
+  | Runtime.Rt_event.Boundary _ | Runtime.Rt_event.Commit_hash _
+  | Runtime.Rt_event.Txn_abort _ ->
       (* Scheduling/replay bookkeeping carries no propagation edges. *)
       ()
 

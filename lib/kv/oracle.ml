@@ -1,0 +1,112 @@
+(* Strict-serializability oracle: replay every completed request
+   SERIALLY in the equivalent serial order the protocol claims —
+   (round; snapshots before the round's commits; then (priority, batch
+   index)) — against a pure model of the store, and demand that every
+   observed read sum, every per-thread completion checksum, and the
+   final store image (values and version words) are reproduced
+   byte-for-byte.  Any serialization error in the concurrent execution
+   (a committed transaction observing non-serial state, a lost or
+   phantom write, a snapshot reading a torn image) shows up as a
+   mismatch. *)
+
+type mismatch = { what : string }
+
+let error fmt = Printf.ksprintf (fun s -> Error { what = s }) fmt
+
+let serial_key nthreads (r : Service.record_) =
+  let kind_rank = match r.rc_txn.Txn.kind with Txn.Snapshot -> 0 | Txn.Update -> 1 in
+  let prio =
+    match r.rc_txn.Txn.kind with
+    | Txn.Snapshot -> r.rc_tid
+    | Txn.Update -> Validate.priority_of ~round:r.rc_round ~nthreads r.rc_tid
+  in
+  (r.rc_round, kind_rank, prio, r.rc_batch)
+
+let check (o : Service.outcome) =
+  let n = o.oc_nthreads in
+  let store = Array.init Layout.n_keys Layout.initial_value in
+  let vers = Array.make Layout.n_keys 0 in
+  let ordered = List.sort (fun a b -> compare (serial_key n a) (serial_key n b)) o.oc_records in
+  let read_sum (t : Txn.t) =
+    List.fold_left
+      (fun acc (k, len) ->
+        let s = ref acc in
+        for i = k to k + len - 1 do
+          s := !s + store.(i)
+        done;
+        !s)
+      0 t.Txn.reads
+  in
+  let rec replay = function
+    | [] -> Ok ()
+    | (r : Service.record_) :: rest -> (
+        let t = r.rc_txn in
+        let expected = read_sum t in
+        if expected <> r.rc_read_sum then
+          error "t%d txn#%d (round %d): read sum %d, serial replay expects %d" r.rc_tid
+            t.Txn.seq r.rc_round r.rc_read_sum expected
+        else begin
+          (match t.Txn.kind with
+          | Txn.Snapshot -> ()
+          | Txn.Update ->
+              List.iteri
+                (fun nth k ->
+                  store.(k) <-
+                    Txn.new_value ~old:store.(k) ~read_sum:expected ~seq:t.Txn.seq ~nth;
+                  vers.(k) <- vers.(k) + 1)
+                t.Txn.writes);
+          replay rest
+        end)
+  in
+  match replay ordered with
+  | Error _ as e -> e
+  | Ok () ->
+      let rec check_keys k =
+        if k = Layout.n_keys then Ok ()
+        else if o.oc_final.(k) <> store.(k) then
+          error "key %d: final value %d, serial replay expects %d" k o.oc_final.(k) store.(k)
+        else if o.oc_vers.(k) <> vers.(k) then
+          error "key %d: version %d, serial replay expects %d" k o.oc_vers.(k) vers.(k)
+        else check_keys (k + 1)
+      in
+      (match check_keys 0 with
+      | Error _ as e -> e
+      | Ok () ->
+          (* Per-thread completion checksums, replayed in each thread's
+             own completion order: per round, snapshots (phase A, batch
+             position order) then committed updates (phase B, intent
+             order). *)
+          let per_thread t =
+            List.filter (fun (r : Service.record_) -> r.rc_tid = t) o.oc_records
+            |> List.sort
+                 (fun (a : Service.record_) b ->
+                   compare
+                     ( a.rc_round,
+                       (match a.rc_txn.Txn.kind with Txn.Snapshot -> 0 | Txn.Update -> 1),
+                       a.rc_batch )
+                     ( b.rc_round,
+                       (match b.rc_txn.Txn.kind with Txn.Snapshot -> 0 | Txn.Update -> 1),
+                       b.rc_batch ))
+          in
+          let rec check_threads t =
+            if t = n then Ok ()
+            else
+              let chk =
+                List.fold_left
+                  (fun acc (r : Service.record_) ->
+                    Service.mix acc r.rc_read_sum r.rc_txn.Txn.seq)
+                  0 (per_thread t)
+              in
+              if chk <> o.oc_checksums.(t) then
+                error "t%d: completion checksum %d, serial replay expects %d" t
+                  o.oc_checksums.(t) chk
+              else check_threads (t + 1)
+          in
+          check_threads 0)
+
+let snapshot_aborts (o : Service.outcome) =
+  List.exists
+    (fun (r : Service.record_) -> r.rc_txn.Txn.kind = Txn.Snapshot && r.rc_retries > 0)
+    o.oc_records
+
+let completed (o : Service.outcome) = List.length o.oc_records

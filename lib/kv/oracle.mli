@@ -1,0 +1,18 @@
+(** Strict-serializability oracle.
+
+    Replays a captured run's completed requests serially in the
+    protocol's claimed equivalent serial order — (round; the round's
+    snapshots first; then commits by (priority, batch index)) — against
+    a pure store model, and checks that every observed read sum, every
+    per-thread completion checksum, and the final store image (values
+    and version words) are reproduced byte-for-byte. *)
+
+type mismatch = { what : string }
+
+val check : Service.outcome -> (unit, mismatch) result
+
+val snapshot_aborts : Service.outcome -> bool
+(** True if any snapshot transaction ever retried — must always be
+    false: snapshot reads never abort. *)
+
+val completed : Service.outcome -> int

@@ -11,11 +11,13 @@ type t =
   | Fork
   | Gc
   | Commit_pipe
+  | Txn_validate
+  | Txn_abort
 
 let all =
   [
     Run; Token_wait; Lock_wait; Barrier_wait; Commit; Update; Fault; Overflow; Runtime; Fork;
-    Gc; Commit_pipe;
+    Gc; Commit_pipe; Txn_validate; Txn_abort;
   ]
 
 let n = List.length all
@@ -33,6 +35,8 @@ let index = function
   | Fork -> 9
   | Gc -> 10
   | Commit_pipe -> 11
+  | Txn_validate -> 12
+  | Txn_abort -> 13
 
 let of_index = function
   | 0 -> Run
@@ -47,6 +51,8 @@ let of_index = function
   | 9 -> Fork
   | 10 -> Gc
   | 11 -> Commit_pipe
+  | 12 -> Txn_validate
+  | 13 -> Txn_abort
   | i -> invalid_arg (Printf.sprintf "Thread_state.of_index %d" i)
 
 let name = function
@@ -62,6 +68,8 @@ let name = function
   | Fork -> "fork"
   | Gc -> "gc"
   | Commit_pipe -> "commit_pipe"
+  | Txn_validate -> "txn_validate"
+  | Txn_abort -> "txn_abort"
 
 let is_wait = function Token_wait | Lock_wait | Barrier_wait -> true | _ -> false
 

@@ -34,7 +34,12 @@
       install/merge work charged {e after} the global is released, so it
       overlaps the execution of other threads' next chunks (feeds the
       same Breakdown [Commit] category as [Commit], so breakdown totals
-      are placement-independent). *)
+      are placement-independent);
+    - [Txn_validate] / [Txn_abort]: software-transaction bookkeeping —
+      validating a transaction's read/write intents against the commit
+      order, and discarding an aborted transaction's buffered write set
+      (including its deterministic retry backoff).  Both feed
+      [Library]: they are runtime overhead, not useful work. *)
 
 type t =
   | Run
@@ -49,6 +54,8 @@ type t =
   | Fork
   | Gc
   | Commit_pipe
+  | Txn_validate
+  | Txn_abort
 
 val all : t list
 (** In {!index} order. *)

@@ -28,6 +28,10 @@ type t = {
   pthread_spawn_ns : int;
   pthread_join_ns : int;
   mem_op_instr_per_8bytes : int;
+  txn_validate_base_ns : int;
+  txn_validate_key_ns : int;
+  txn_abort_ns : int;
+  txn_backoff_ns : int;
 }
 
 let default =
@@ -61,6 +65,10 @@ let default =
     pthread_spawn_ns = 9_000;
     pthread_join_ns = 900;
     mem_op_instr_per_8bytes = 1;
+    txn_validate_base_ns = 400;
+    txn_validate_key_ns = 25;
+    txn_abort_ns = 600;
+    txn_backoff_ns = 2_000;
   }
 
 let work_ns t prng n =

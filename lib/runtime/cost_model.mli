@@ -49,6 +49,16 @@ type t = {
   pthread_join_ns : int;
   mem_op_instr_per_8bytes : int;
       (** instructions charged per 8 bytes moved by read/write *)
+  txn_validate_base_ns : int;
+      (** fixed cost of validating one software transaction against the
+          committed prefix of its round (ordered-TL2-style read-set
+          check) *)
+  txn_validate_key_ns : int;  (** per read/write intent entry scanned *)
+  txn_abort_ns : int;
+      (** discarding an aborted transaction's buffered write set *)
+  txn_backoff_ns : int;
+      (** deterministic retry backoff, charged per prior retry of the
+          aborting transaction *)
 }
 
 val default : t

@@ -299,7 +299,7 @@ let bd_of_state = function
   | St.Commit | St.Commit_pipe -> Bd.Commit
   | St.Update -> Bd.Update
   | St.Fault -> Bd.Page_fault
-  | St.Overflow | St.Runtime | St.Gc -> Bd.Library
+  | St.Overflow | St.Runtime | St.Gc | St.Txn_validate | St.Txn_abort -> Bd.Library
   | St.Fork -> Bd.Fork
 
 (* Emit one closed state interval [t0, now).  Purely observational: the
@@ -1492,6 +1492,27 @@ let rec make_ops rt th : Api.ops =
     log_output =
       (fun msg -> Sim.Trace.record rt.out_trace ~time:(e_now rt) ~tid:th.tid ~label:msg);
     yield = (fun () -> ());
+    base_version = (fun () -> Vmem.Workspace.base th.ws);
+    snapshot_read =
+      (fun ~version ~addr ~len ->
+        (* Version-pinned read straight from the segment histories: no
+           fault, no resident copy.  The pin is GC-safe because callers
+           pin at-or-above their own workspace base (see Segment.read_bytes). *)
+        consume rt th (mem_instr rt len);
+        unlocked_mem rt th (fun () -> Vmem.Segment.read_bytes rt.seg ~version ~addr ~len));
+    now_ns = (fun () -> e_now rt);
+    metric_incr = (fun key by -> Obs.Metrics.incr rt.metrics ~by key);
+    metric_observe = (fun key v -> Obs.Metrics.observe rt.metrics key v);
+    txn_validate =
+      (fun ~keys ->
+        charge rt th St.Txn_validate
+          (rt.costs.Cost_model.txn_validate_base_ns
+          + (keys * rt.costs.Cost_model.txn_validate_key_ns)));
+    txn_abort =
+      (fun ~seq ~retries ->
+        charge rt th St.Txn_abort
+          (rt.costs.Cost_model.txn_abort_ns + (retries * rt.costs.Cost_model.txn_backoff_ns));
+        if emitting rt then emit rt (Rt_event.Txn_abort { tid = th.tid; seq; retries }));
   }
 
 and new_thread_state rt ~tid ~name ~inherit_count =

@@ -68,7 +68,7 @@ let bd_of_state = function
   | St.Commit | St.Commit_pipe -> Bd.Commit
   | St.Update -> Bd.Update
   | St.Fault -> Bd.Page_fault
-  | St.Overflow | St.Runtime | St.Gc -> Bd.Library
+  | St.Overflow | St.Runtime | St.Gc | St.Txn_validate | St.Txn_abort -> Bd.Library
   | St.Fork -> Bd.Fork
 
 let charge rt th st ns =
@@ -388,6 +388,26 @@ let rec make_ops rt th : Api.ops =
     log_output =
       (fun msg -> Sim.Trace.record rt.out_trace ~time:(Sim.Engine.now rt.eng) ~tid:th.tid ~label:msg);
     yield = (fun () -> Sim.Engine.advance rt.eng 0);
+    (* Flat shared heap: there is no version history, so the "pin" is
+       always 0 and a snapshot read is a plain read of current memory.
+       This coincides with the versioned runtimes whenever the program
+       guarantees no concurrent writers to the range, which the kv round
+       protocol does by construction. *)
+    base_version = (fun () -> 0);
+    snapshot_read = (fun ~version:_ ~addr ~len -> read rt th ~addr ~len);
+    now_ns = (fun () -> Sim.Engine.now rt.eng);
+    metric_incr = (fun key by -> Obs.Metrics.incr rt.metrics ~by key);
+    metric_observe = (fun key v -> Obs.Metrics.observe rt.metrics key v);
+    txn_validate =
+      (fun ~keys ->
+        charge rt th St.Txn_validate
+          (rt.costs.Cost_model.txn_validate_base_ns
+          + (keys * rt.costs.Cost_model.txn_validate_key_ns)));
+    txn_abort =
+      (fun ~seq ~retries ->
+        charge rt th St.Txn_abort
+          (rt.costs.Cost_model.txn_abort_ns + (retries * rt.costs.Cost_model.txn_backoff_ns));
+        if emitting rt then emit rt (Rt_event.Txn_abort { tid = th.tid; seq; retries }));
   }
 
 and new_thread_state rt ~tid ~tname =

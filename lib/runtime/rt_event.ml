@@ -13,6 +13,7 @@ type t =
     }
   | Boundary of { tid : int; ic : int; overflow : bool }
   | Commit_hash of { tid : int; version : int; hash : string }
+  | Txn_abort of { tid : int; seq : int; retries : int }
 
 type observer = t -> unit
 
@@ -30,6 +31,7 @@ let label = function
   | Boundary { ic; overflow; _ } ->
       Printf.sprintf "%s:%d" (if overflow then "overflow" else "chunk-end") ic
   | Commit_hash { version; _ } -> Printf.sprintf "hash:v%d" version
+  | Txn_abort { seq; retries; _ } -> Printf.sprintf "txn-abort:%d.%d" seq retries
 
 let tid = function
   | Commit { tid; _ }
@@ -37,7 +39,8 @@ let tid = function
   | Acquire { tid; _ }
   | Conflict { tid; _ }
   | Boundary { tid; _ }
-  | Commit_hash { tid; _ } ->
+  | Commit_hash { tid; _ }
+  | Txn_abort { tid; _ } ->
       tid
 
 let pp ppf ev =
@@ -53,6 +56,8 @@ let pp ppf ev =
   | Boundary { tid; ic; overflow } ->
       Format.fprintf ppf "%s t%d ic=%d" (if overflow then "overflow" else "chunk-end") tid ic
   | Commit_hash { tid; version; hash } -> Format.fprintf ppf "hash t%d v%d %s" tid version hash
+  | Txn_abort { tid; seq; retries } ->
+      Format.fprintf ppf "txn-abort t%d seq=%d retries=%d" tid seq retries
 
 let to_json ev : Obs.Json.t =
   let open Obs.Json in
@@ -96,6 +101,14 @@ let to_json ev : Obs.Json.t =
           ("tid", Int tid);
           ("version", Int version);
           ("hash", String hash);
+        ]
+  | Txn_abort { tid; seq; retries } ->
+      Obj
+        [
+          ("kind", String "txn_abort");
+          ("tid", Int tid);
+          ("seq", Int seq);
+          ("retries", Int retries);
         ]
 
 (* Inverse of [to_json]; the schedule logs of [lib/replay] round-trip
@@ -159,4 +172,9 @@ let of_json (j : Obs.Json.t) : (t, string) result =
       let* version = int "version" in
       let* hash = str "hash" in
       Ok (Commit_hash { tid; version; hash })
+  | "txn_abort" ->
+      let* tid = int "tid" in
+      let* seq = int "seq" in
+      let* retries = int "retries" in
+      Ok (Txn_abort { tid; seq; retries })
   | other -> Error (Printf.sprintf "rt_event: unknown kind %S" other)

@@ -56,6 +56,15 @@ type t =
           immediately after its [Commit] so a replay can cross-check
           {e values}, not just schedule shape.  Observer-only, like
           [Boundary]. *)
+  | Txn_abort of { tid : int; seq : int; retries : int }
+      (** the thread's software transaction [seq] (its per-thread
+          request ordinal) failed validation against the deterministic
+          commit order and will retry; [retries] counts prior aborts of
+          the same request.  Under the deterministic runtimes the
+          abort/retry decision is a pure function of committed state, so
+          these events are part of the replay-checked stream — a replay
+          that aborts differently diverges.  Emitted outside the token,
+          like [Boundary], and only to an [observer]. *)
 
 type observer = t -> unit
 

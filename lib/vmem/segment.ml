@@ -190,6 +190,21 @@ let last_mod t i =
   check_page t i;
   t.last_mod_arr.(i)
 
+let read_bytes t ~version ~addr ~len =
+  if addr < 0 || len < 0 || addr + len > t.npages * t.page_size then
+    invalid_arg
+      (Printf.sprintf "Segment %s: read_bytes [%d, %d) out of bounds" t.name addr (addr + len));
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let pg = a / t.page_size and off = a mod t.page_size in
+    let n = min (len - !pos) (t.page_size - off) in
+    Bytes.blit (read_page t ~version pg) off out !pos n;
+    pos := !pos + n
+  done;
+  out
+
 let install_page t vnum (i, page) =
   if Bytes.length page <> t.page_size then
     invalid_arg (Printf.sprintf "Segment %s: bad page size in commit" t.name);

@@ -50,6 +50,22 @@ val read_page : t -> version:version -> int -> Page.t
 val last_mod : t -> int -> version
 (** Version that last modified the page (0 if never written). *)
 
+val read_bytes : t -> version:version -> addr:int -> len:int -> Bytes.t
+(** Byte-addressed read of the committed image pinned at [version]:
+    the result is assembled from, for every page the range touches, the
+    newest snapshot with version [<= version].  Copy-free on the
+    segment side — no workspace, no fault, no twin; the caller owns the
+    returned buffer.  This is the substrate for snapshot (read-only)
+    transactions: a reader that pins a version sees a consistent
+    point-in-time image no matter what commits after the pin.
+
+    GC safety: the pin must be [>= min_base] of any concurrent
+    {!gc}/{!gc_step} call.  The collector keeps, per page, the newest
+    snapshot at [<= min_base] plus everything newer, so any pinned
+    version in [min_base, current] still resolves every page.  Runtime
+    callers satisfy this by pinning at-or-above their own workspace
+    base, which bounds [min_base] while the thread is live. *)
+
 val commit : t -> committer:int -> pages:(int * Page.t) list -> version
 (** Install the given page snapshots as a new version and return its
     number.  The segment takes ownership of the snapshot buffers.  Page

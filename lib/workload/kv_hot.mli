@@ -1,0 +1,5 @@
+(** Service [kv_hot]: hot-key contention: most writes hit four hot keys over the
+    deterministic transactional KV store ({!Kv.Service}). *)
+
+val make : ?scale:float -> unit -> Api.t
+val default : Api.t

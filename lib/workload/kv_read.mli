@@ -1,0 +1,5 @@
+(** Service [kv_read]: read-mostly mix, 10% updates over the
+    deterministic transactional KV store ({!Kv.Service}). *)
+
+val make : ?scale:float -> unit -> Api.t
+val default : Api.t

@@ -1,0 +1,5 @@
+(** Service [kv_uniform]: uniform point reads/updates and snapshot scans over the
+    deterministic transactional KV store ({!Kv.Service}). *)
+
+val make : ?scale:float -> unit -> Api.t
+val default : Api.t

@@ -1,0 +1,6 @@
+let make ?(scale = 1.0) () =
+  Kv.Service.workload
+    ~requests:(Wl_util.scaled scale Kv.Service.default_requests)
+    Kv.Traffic.Write_heavy
+
+let default = make ()

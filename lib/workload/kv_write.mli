@@ -1,0 +1,5 @@
+(** Service [kv_write]: write-heavy mix, 85% updates over the
+    deterministic transactional KV store ({!Kv.Service}). *)
+
+val make : ?scale:float -> unit -> Api.t
+val default : Api.t

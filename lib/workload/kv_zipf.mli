@@ -1,0 +1,5 @@
+(** Service [kv_zipf]: Zipfian (s=1.2) skewed update mix over the
+    deterministic transactional KV store ({!Kv.Service}). *)
+
+val make : ?scale:float -> unit -> Api.t
+val default : Api.t

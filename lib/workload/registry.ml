@@ -1,9 +1,10 @@
-type suite = Phoenix | Parsec | Splash2
+type suite = Phoenix | Parsec | Splash2 | Service
 
 let suite_name = function
   | Phoenix -> "phoenix"
   | Parsec -> "parsec"
   | Splash2 -> "splash-2"
+  | Service -> "service"
 
 type entry = {
   suite : suite;
@@ -35,9 +36,20 @@ let all =
     entry Splash2 Ocean_cp.make;
     entry Splash2 Water_nsquared.make;
     entry Splash2 Water_spatial.make;
+    entry Service Kv_uniform.make;
+    entry Service Kv_zipf.make;
+    entry Service Kv_hot.make;
+    entry Service Kv_read.make;
+    entry Service Kv_write.make;
+    entry Service Kv_scan.make;
   ]
 
 let names = List.map (fun e -> e.program.Api.name) all
+
+let kv_set =
+  List.filter_map
+    (fun e -> if e.suite = Service then Some e.program.Api.name else None)
+    all
 
 let find name =
   match List.find_opt (fun e -> e.program.Api.name = name) all with

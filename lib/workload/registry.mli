@@ -1,9 +1,11 @@
-(** The 19-benchmark evaluation suite (paper section 5, Fig 10).
+(** The benchmark registry: the 19-benchmark evaluation suite (paper
+    section 5, Fig 10) plus the six server-shaped transactional KV
+    traffic mixes ({!Kv.Service}).
 
     Groups the models by their source suite and by the roles they play in
     the paper's figures. *)
 
-type suite = Phoenix | Parsec | Splash2
+type suite = Phoenix | Parsec | Splash2 | Service
 
 val suite_name : suite -> string
 
@@ -14,7 +16,11 @@ type entry = {
 }
 
 val all : entry list
-(** All 19 benchmarks in Fig 10 display order. *)
+(** The 19 Fig 10 benchmarks in display order, then the six KV traffic
+    shapes. *)
+
+val kv_set : string list
+(** The six KV service traffic shapes, in registry order. *)
 
 val names : string list
 

@@ -8,7 +8,7 @@ let quick_threads = [ 2; 4 ]
 
 let test_fig10_shape () =
   let rows = Figures.Fig10.measure ~threads:quick_threads () in
-  check_int "19 rows" 19 (List.length rows);
+  check_int "25 rows" 25 (List.length rows);
   List.iter
     (fun row ->
       check_int "4 runtimes" 4 (List.length row.Figures.Fig10.ratios);
@@ -85,7 +85,7 @@ let test_fig16_shape () =
 
 let test_determinism_report () =
   let rows = Figures.Determinism_report.measure ~threads:2 ~seeds:[ 1; 5 ] () in
-  check_int "19 rows" 19 (List.length rows);
+  check_int "25 rows" 25 (List.length rows);
   List.iter
     (fun row ->
       List.iter

@@ -232,6 +232,37 @@ let test_truncated_log_reports_extra_events () =
       check_bool "expected nothing" true (d.Rep.expected = None);
       check_bool "actual is the surplus event" true (d.Rep.actual <> None)
 
+let test_kv_abort_events_recorded_and_checked () =
+  (* The KV service's abort/retry decisions are first-class deterministic
+     events: the recorded stream must carry them (kv_zipf is the most
+     contended shape), a faithful replay must walk straight through, and
+     corrupting one abort's retry count must be flagged at exactly that
+     stream position. *)
+  let prog = program_of "kv_zipf" in
+  let log, res = Sch.record Runtime.Run.consequence_ic ~seed:1 ~nthreads:4 prog in
+  let aborts =
+    Array.fold_left
+      (fun n ev -> match ev with Ev.Txn_abort _ -> n + 1 | _ -> n)
+      0 log.Sch.events
+  in
+  check_int "abort events recorded"
+    (Obs.Metrics.counter_value res.Res.metrics "kv:aborts")
+    aborts;
+  check_bool "contended shape actually aborts" true (aborts > 0);
+  let o = Rep.replay log prog in
+  check_bool "faithful replay" true (Rep.ok o);
+  check_int "every event checked" (Sch.length log) o.Rep.checked;
+  let events = Array.copy log.Sch.events in
+  let i = find_event events (function Ev.Txn_abort _ -> true | _ -> false) in
+  (match events.(i) with
+  | Ev.Txn_abort { tid; seq; retries } ->
+      events.(i) <- Ev.Txn_abort { tid; seq; retries = retries + 1 }
+  | _ -> assert false);
+  let o = Rep.replay { log with Sch.events } prog in
+  match o.Rep.divergence with
+  | None -> Alcotest.fail "corrupted abort event replayed without divergence"
+  | Some d -> check_int "localized to the corrupted abort" i d.Rep.index
+
 (* ------------------------------------------------------------------ *)
 (* JSON round-trips                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -256,6 +287,8 @@ let gen_event =
         bool;
       map3 (fun tid version hash -> Ev.Commit_hash { tid; version; hash }) tid (int_bound 5000)
         short_string;
+      map3 (fun tid seq retries -> Ev.Txn_abort { tid; seq; retries }) tid (int_bound 10_000)
+        (int_bound 32);
     ]
 
 let arb_event = QCheck.make ~print:(Format.asprintf "%a" Ev.pp) gen_event
@@ -387,6 +420,8 @@ let () =
             test_divergence_localizes_commit_hash;
           Alcotest.test_case "shifted chunk-end localized" `Quick
             test_divergence_localizes_chunk_end;
+          Alcotest.test_case "kv abort events recorded and checked" `Quick
+            test_kv_abort_events_recorded_and_checked;
           Alcotest.test_case "truncated log flagged" `Quick
             test_truncated_log_reports_extra_events;
         ] );

@@ -1,4 +1,5 @@
-(* Tests for the 19-benchmark suite and its building blocks. *)
+(* Tests for the benchmark registry (the 19-benchmark suite plus the
+   six KV service traffic shapes) and its building blocks. *)
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -99,10 +100,10 @@ let test_queue_blocking_producer_consumer () =
 (* Registry                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let test_registry_has_19 () = check_int "19 benchmarks" 19 (List.length Workload.Registry.all)
+let test_registry_has_25 () = check_int "25 benchmarks" 25 (List.length Workload.Registry.all)
 
 let test_registry_names_unique () =
-  check_int "unique names" 19 (List.length (List.sort_uniq compare Workload.Registry.names))
+  check_int "unique names" 25 (List.length (List.sort_uniq compare Workload.Registry.names))
 
 let test_registry_find () =
   let e = Workload.Registry.find "ferret" in
@@ -124,9 +125,11 @@ let test_registry_figure_sets_valid () =
       Workload.Registry.fig14_set;
       Workload.Registry.fig15_set;
       Workload.Registry.fig16_set;
+      Workload.Registry.kv_set;
     ];
   check_int "five hardest" 5 (List.length Workload.Registry.hardest_five);
-  check_int "fig16 has 12" 12 (List.length Workload.Registry.fig16_set)
+  check_int "fig16 has 12" 12 (List.length Workload.Registry.fig16_set);
+  check_int "kv set has 6" 6 (List.length Workload.Registry.kv_set)
 
 let test_registry_scale_parameter () =
   let e = Workload.Registry.find "string_match" in
@@ -289,7 +292,7 @@ let () =
         ] );
       ( "registry",
         [
-          Alcotest.test_case "19 benchmarks" `Quick test_registry_has_19;
+          Alcotest.test_case "25 benchmarks" `Quick test_registry_has_25;
           Alcotest.test_case "names unique" `Quick test_registry_names_unique;
           Alcotest.test_case "find" `Quick test_registry_find;
           Alcotest.test_case "figure sets valid" `Quick test_registry_figure_sets_valid;
