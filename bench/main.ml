@@ -10,7 +10,11 @@
      bench/main.exe -j 4 all        fan the sweeps over 4 domains
    Sections: fig10 fig11 fig12 fig13 fig14 fig15 fig16 determinism tso
    races climit soundness locking chunking micro sched replay profile
-   commit domains kv.
+   commit domains kv autotune.
+
+   [--baseline DIR] compares fresh section dumps against DIR; adding
+   [--fail-on-regress PCT] turns numeric-leaf drift beyond PCT percent
+   into a non-zero exit (missing or unparseable baselines still skip).
 
    [-j N] sets the worker-domain count for the figure sweeps (0 = one
    per recommended domain); results are gathered in input order, so the
@@ -24,7 +28,7 @@ let section_names =
   [
     "fig10"; "fig11"; "fig12"; "fig13"; "fig14"; "fig15"; "fig16"; "determinism"; "tso";
     "races"; "climit"; "soundness"; "locking"; "chunking"; "micro"; "sched"; "replay";
-    "profile"; "commit"; "domains"; "kv";
+    "profile"; "commit"; "domains"; "kv"; "autotune";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -325,12 +329,16 @@ let run_sched () =
 
 (* [--baseline DIR] compares each freshly written BENCH_<section>.json
    against DIR/BENCH_<section>.json, leaf by numeric leaf.  The
-   comparison is strictly informational and tolerant by construction: a
-   missing, unreadable or unparseable baseline — the normal state of a
-   young trajectory — is reported as skipped, never as a failure, and no
-   amount of drift changes the exit code. *)
+   comparison is tolerant by construction: a missing, unreadable or
+   unparseable baseline — the normal state of a young trajectory — is
+   reported as skipped, never as a failure.  By default no amount of
+   drift changes the exit code either; [--fail-on-regress PCT] opts in
+   to failing the run (exit 1, after all sections finish) when any
+   compared numeric leaf drifted by more than PCT percent. *)
 
 let baseline_dir = ref None
+let fail_on_regress : float option ref = ref None
+let regressions : (string * string * float * float * float) list ref = ref []
 
 (* Flatten to (path, value) numeric leaves: "a.b[3].c" -> 4.2.  Table
    cells serialize as strings, so numeric-looking strings (including
@@ -384,13 +392,21 @@ let compare_with_baseline ~dir section fresh =
           let compared = ref 0 and drifted = ref [] in
           List.iter
             (fun (p, v) ->
+              (* the top-level wall_ns is the harness's real measurement
+                 time, not a benchmark result — never a regression *)
+              if p = "wall_ns" then ()
+              else
               match Hashtbl.find_opt old_tbl p with
               | None -> ()
               | Some v0 ->
                   incr compared;
                   let denom = Float.max (Float.abs v0) 1e-9 in
                   let rel = Float.abs (v -. v0) /. denom in
-                  if rel > 0.05 then drifted := (p, v0, v, rel) :: !drifted)
+                  if rel > 0.05 then drifted := (p, v0, v, rel) :: !drifted;
+                  (match !fail_on_regress with
+                  | Some pct when rel > pct /. 100.0 ->
+                      regressions := (section, p, v0, v, rel) :: !regressions
+                  | _ -> ()))
             fresh_leaves;
           let drifted =
             List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) !drifted
@@ -447,6 +463,9 @@ let run_section ~threads name =
        are cheap (a commit-bound microbenchmark, not a figure sweep). *)
     | "commit" -> fig (fun () -> Figures.Commit_report.run ())
     | "kv" -> fig (fun () -> Figures.Kv_report.run ())
+    (* Quick-search auto-tuning over the whole registry: the acceptance
+       verdicts (searched vs hand grid vs default) live in the notes. *)
+    | "autotune" -> fig (fun () -> Figures.Autotune_report.run ())
     | "domains" ->
         let figure = fig (fun () -> Figures.Domains_calib.run ()) in
         Obs.Json.Obj
@@ -477,7 +496,7 @@ let run_section ~threads name =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [-j N] [--baseline DIR] [--quick|full] [all|%s ...]\n"
+    "usage: main.exe [-j N] [--baseline DIR] [--fail-on-regress PCT] [--quick|full] [all|%s ...]\n"
     (String.concat "|" section_names);
   exit 2
 
@@ -497,6 +516,13 @@ let () =
         baseline_dir := Some dir;
         parse acc rest
     | [ "--baseline" ] -> usage ()
+    | "--fail-on-regress" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some p when p >= 0.0 ->
+            fail_on_regress := Some p;
+            parse acc rest
+        | _ -> usage ())
+    | [ "--fail-on-regress" ] -> usage ()
     | arg :: rest
       when String.length arg > 2 && String.sub arg 0 2 = "-j"
            && int_of_string_opt (String.sub arg 2 (String.length arg - 2)) <> None ->
@@ -527,4 +553,14 @@ let () =
   Printf.printf "bench complete in %.1f s wall / %.1f s cpu (%d job%s)\n"
     (Int64.to_float (Int64.sub (Monotonic_clock.now ()) w0) /. 1e9)
     (Sys.time () -. t0) (Sim.Par.jobs ())
-    (if Sim.Par.jobs () = 1 then "" else "s")
+    (if Sim.Par.jobs () = 1 then "" else "s");
+  match (!fail_on_regress, !regressions) with
+  | Some pct, (_ :: _ as rs) ->
+      Printf.printf "FAIL: %d numeric leaf/leaves regressed beyond %.1f%% vs baseline\n"
+        (List.length rs) pct;
+      List.iter
+        (fun (section, p, v0, v, rel) ->
+          Printf.printf "  [%s] %s: %g -> %g (%+.1f%%)\n" section p v0 v (100.0 *. rel))
+        (List.rev rs);
+      exit 1
+  | _ -> ()

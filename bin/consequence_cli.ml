@@ -13,7 +13,9 @@
      races     race-audit one benchmark, or sweep the whole suite
      record    record a schedule log (<name>.schedule.json)
      replay    replay a schedule log with divergence detection
-     explore   perturb a recorded schedule and cross-check the variants *)
+     explore   perturb a recorded schedule and cross-check the variants
+     tune      offline auto-tuner: search per-workload controller params,
+               inspect saved tuned profiles *)
 
 open Cmdliner
 
@@ -25,7 +27,11 @@ let runtime_of_string = function
   | "consequence-ic" | "ic" | "consequence" -> Ok Runtime.Run.consequence_ic
   | "consequence-pipe" | "pipe" -> Ok (Runtime.Run.Det Runtime.Config.consequence_pipe)
   | "domains" -> Ok Runtime.Run.domains
-  | s -> Error (`Msg (Printf.sprintf "unknown runtime %S" s))
+  | s ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown runtime %S; known: %s" s
+             (String.concat ", " Runtime.Run.names)))
 
 let runtime_conv =
   Arg.conv
@@ -73,14 +79,38 @@ let find_program name =
 
 (* --- run -------------------------------------------------------------- *)
 
+(* Apply a saved tuned profile to the selected runtime's config (the
+   self-tuning controller runs online with the profile's params). *)
+let with_profile profile runtime =
+  match profile with
+  | None -> Ok runtime
+  | Some file -> (
+      match Tune.Profiles.load file with
+      | Error e -> Error (Printf.sprintf "%s: %s" file e)
+      | Ok p -> (
+          match runtime with
+          | Runtime.Run.Det cfg -> Ok (Runtime.Run.Det (Tune.Profiles.apply p cfg))
+          | Runtime.Run.Domains cfg -> Ok (Runtime.Run.Domains (Tune.Profiles.apply p cfg))
+          | Runtime.Run.Pthreads ->
+              Error "--profile: pthreads has no deterministic knobs to tune"))
+
+let profile_file_arg =
+  Arg.(
+    value & opt (some file) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Tuned profile (tune/profiles/<workload>.tune.json, produced by tune search); \
+           runs the self-tuning controller with the profile's parameters.")
+
 let run_cmd =
-  let action runtime threads seed name breakdown metrics json jobs =
+  let action runtime threads seed name breakdown metrics json jobs profile =
     apply_jobs jobs;
-    match find_program name with
+    match Result.bind (find_program name) (fun program ->
+        Result.map (fun rt -> (program, rt)) (with_profile profile runtime)) with
     | Error e ->
         prerr_endline e;
         exit 1
-    | Ok program ->
+    | Ok (program, runtime) ->
         let r = Runtime.Run.run runtime ~seed ~nthreads:threads program in
         if json then print_endline (Obs.Json.to_string (Stats.Run_result.to_json r))
         else begin
@@ -114,7 +144,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute one benchmark under one runtime.")
     Term.(
       const action $ runtime_arg $ threads_arg $ seed_arg $ benchmark_arg $ breakdown_arg
-      $ metrics_arg $ json_arg $ jobs_arg)
+      $ metrics_arg $ json_arg $ jobs_arg $ profile_file_arg)
 
 (* --- trace ------------------------------------------------------------ *)
 
@@ -183,12 +213,8 @@ let profile_cmd =
         let program = (Workload.Registry.find name).Workload.Registry.program in
         let r = Prof.Report.run ~runtime ~seed ~nthreads:threads program in
         let p = r.Prof.Report.profile in
-        let total = max 1 (Array.fold_left ( + ) 0 p.Prof.Profile.totals) in
-        let pct st =
-          100.0
-          *. float_of_int p.Prof.Profile.totals.(Obs.Thread_state.index st)
-          /. float_of_int total
-        in
+        (* Shares come from the shared accessor; see Prof.Profile.state_shares. *)
+        let pct st = 100.0 *. Prof.Profile.state_share p st in
         let ok = Prof.Report.conservation_ok r in
         if not ok then incr bad;
         Printf.printf "%-18s %12d %7.1f %7.1f %7.1f %7.1f  %s\n" name
@@ -584,6 +610,100 @@ let explore_cmd =
           invariant while timings move.")
     Term.(const action $ schedule_file_arg $ variants_arg $ explore_seed_arg $ json_arg)
 
+(* --- tune ------------------------------------------------------------- *)
+
+let tune_search_cmd =
+  let action threads seed quick out jobs names =
+    apply_jobs jobs;
+    let names = if names = [] then Workload.Registry.names else names in
+    (match List.find_opt (fun n -> not (List.mem n Workload.Registry.names)) names with
+    | Some bad ->
+        Printf.eprintf "unknown benchmark %S; known: %s\n" bad
+          (String.concat ", " Workload.Registry.names);
+        exit 1
+    | None -> ());
+    let rec mkdir_p dir =
+      if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+      then begin
+        mkdir_p (Filename.dirname dir);
+        Sys.mkdir dir 0o755
+      end
+    in
+    mkdir_p out;
+    let results =
+      Sim.Par.map_list
+        (fun name -> Tune.Search.search ~nthreads:threads ~seed ~quick name)
+        names
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun (r : Tune.Search.t) ->
+        Format.printf "%a@.@." Tune.Search.pp r;
+        if r.Tune.Search.replay_checked && not r.Tune.Search.replay_ok then incr failures;
+        if not r.Tune.Search.seed_stable then incr failures;
+        let profile = Tune.Search.to_profile r in
+        let path = Filename.concat out (Tune.Profiles.filename profile) in
+        Tune.Profiles.save profile path;
+        Printf.printf "[%s -> %s]\n" r.Tune.Search.workload path)
+      results;
+    if !failures > 0 then begin
+      Printf.eprintf "%d winner(s) failed the seed-stability or replay cross-check\n" !failures;
+      exit 1
+    end
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Shorten the hill-climb and skip the random restarts and exploration floor \
+             (the CI smoke setting).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "tune/profiles"
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Directory for the tuned profiles.")
+  in
+  let names_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCHMARK" ~doc:"Workloads to tune (default: the whole registry).")
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Auto-tune the self-tuning controller's parameters per workload by simulated \
+          wall time (hand grid + profile-derived candidate + seeded hill-climb), \
+          cross-check each winner (seed stability, replay-checked Tune_decision events), \
+          and save tuned profiles.")
+    Term.(
+      const action $ threads_arg $ seed_arg $ quick_arg $ out_arg $ jobs_arg $ names_arg)
+
+let tune_show_cmd =
+  let action file =
+    match Tune.Profiles.load file with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        exit 1
+    | Ok p -> Format.printf "%a@." Tune.Profiles.pp p
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Tuned profile written by tune search.")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Pretty-print a saved tuned profile.")
+    Term.(const action $ file_arg)
+
+let tune_cmd =
+  Cmd.group
+    (Cmd.info "tune"
+       ~doc:
+         "Self-tuning runtime: offline search for per-workload controller parameters and \
+          inspection of the saved profiles (apply one with run --profile).")
+    [ tune_search_cmd; tune_show_cmd ]
+
 (* --- check ------------------------------------------------------------ *)
 
 let check_cmd =
@@ -636,4 +756,5 @@ let () =
             record_cmd;
             replay_cmd;
             explore_cmd;
+            tune_cmd;
           ]))

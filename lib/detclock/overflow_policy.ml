@@ -3,7 +3,12 @@ type kind =
   | Fixed of int
   | Scripted of int array
 
-type t = { kind : kind; mutable interval : int; mutable scheduled : int; mutable cursor : int }
+type t = {
+  mutable kind : kind;
+  mutable interval : int;
+  mutable scheduled : int;
+  mutable cursor : int;
+}
 
 let default_base = 5_000
 let default_cap = 60_000
@@ -63,5 +68,18 @@ let next_interval ?(ic = 0) t ~waiter_gap =
         t.interval <- min cap (t.interval * 2);
         n
       end
+
+let retarget t ~base ~cap =
+  if base <= 0 || cap < base then invalid_arg "Overflow_policy.retarget: need 0 < base <= cap";
+  match t.kind with
+  | Adaptive _ ->
+      t.kind <- Adaptive { base; cap };
+      t.interval <- min base cap
+  | Fixed _ -> t.kind <- Fixed base
+  | Scripted _ ->
+      (* A scripted schedule is a replay contract: recorded boundaries
+         win over knob changes (the controller's decisions are re-applied
+         but the boundary stream is already pinned). *)
+      ()
 
 let overflows_scheduled t = t.scheduled

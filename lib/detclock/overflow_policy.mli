@@ -62,5 +62,14 @@ val next_interval : ?ic:int -> t -> waiter_gap:int -> int
     the next overflow at the next recorded boundary.  Always returns a
     value >= 1. *)
 
+val retarget : t -> base:int -> cap:int -> unit
+(** Re-aim the policy mid-run (the self-tuning controller's knob).
+    [Adaptive] policies adopt the new base/cap and restart the backoff at
+    [min base cap]; [Fixed] policies adopt [base] as the new interval;
+    [Scripted] policies ignore the call — a replay's recorded boundary
+    stream wins over knob changes.  Like every overflow decision this
+    affects real time only, never determinism.  Requires
+    [0 < base <= cap]. *)
+
 val overflows_scheduled : t -> int
 (** Total intervals handed out; a proxy for interrupt overhead. *)

@@ -30,19 +30,15 @@ let run ?(benchmarks = Workload.Registry.names) ?(whatif_benchmarks = default_wh
   List.iter
     (fun (name, (r : Prof.Report.t)) ->
       let p = r.Prof.Report.profile in
-      let total = Array.fold_left ( + ) 0 p.Prof.Profile.totals in
-      let headline_sum =
-        List.fold_left
-          (fun a st -> a + p.Prof.Profile.totals.(St.index st))
-          0 headline_states
-      in
+      (* Shares come from the one shared accessor (the self-tuning
+         controller reads the same numbers), never re-derived here. *)
+      let share st = 100.0 *. Prof.Profile.state_share p st in
+      let headline_pct = List.fold_left (fun a st -> a +. share st) 0.0 headline_states in
       Stats.Table.add_row shares
         ([ name; string_of_int p.Prof.Profile.wall_ns ]
-        @ List.map
-            (fun st -> Printf.sprintf "%.1f" (pct p.Prof.Profile.totals.(St.index st) total))
-            headline_states
+        @ List.map (fun st -> Printf.sprintf "%.1f" (share st)) headline_states
         @ [
-            Printf.sprintf "%.1f" (pct (total - headline_sum) total);
+            Printf.sprintf "%.1f" (Float.max 0.0 (100.0 -. headline_pct));
             (if Prof.Report.conservation_ok r then "ok" else "VIOLATED");
           ]))
     reports;
@@ -113,9 +109,7 @@ let run ?(benchmarks = Workload.Registry.names) ?(whatif_benchmarks = default_wh
        example the docs walk through. *)
     List.fold_left
       (fun acc (name, (r : Prof.Report.t)) ->
-        let p = r.Prof.Report.profile in
-        let total = Array.fold_left ( + ) 0 p.Prof.Profile.totals in
-        let s = pct p.Prof.Profile.totals.(St.index St.Token_wait) total in
+        let s = 100.0 *. Prof.Profile.state_share r.Prof.Report.profile St.Token_wait in
         match acc with Some (_, s0) when s0 >= s -> acc | _ -> Some (name, s))
       None reports
   in

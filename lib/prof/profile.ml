@@ -153,6 +153,21 @@ let total_share t st =
   let life = List.fold_left (fun acc tp -> acc + lifetime_ns tp) 0 t.threads in
   if life = 0 then 0.0 else float_of_int t.totals.(St.index st) /. float_of_int life
 
+(* The one shared derivation of "what fraction of the busy time went
+   where": every consumer (report tables, what-if baselines, the
+   self-tuning controller's profile-to-params mapping) reads this so
+   their percentages cannot drift apart. *)
+let state_shares t =
+  let busy = Array.fold_left ( + ) 0 t.totals in
+  List.map
+    (fun st ->
+      ( st,
+        if busy = 0 then 0.0 else float_of_int t.totals.(St.index st) /. float_of_int busy ))
+    St.all
+
+let state_share t st =
+  match List.assoc_opt st (state_shares t) with Some s -> s | None -> 0.0
+
 let thread_to_json tp =
   Obs.Json.Obj
     [

@@ -98,8 +98,8 @@ let run_variant ?costs (log : Schedule.t) cfg program ~description ~boundaries =
 let distinct_by f rs =
   List.length (List.sort_uniq compare (List.map f rs))
 
-let explore ?costs ?(variants = 12) ?(seed = 7) (log : Schedule.t) (program : Api.t) =
-  let cfg = base_config log in
+let explore ?costs ?config ?(variants = 12) ?(seed = 7) (log : Schedule.t) (program : Api.t) =
+  let cfg = match config with Some c -> c | None -> base_config log in
   let recorded = Schedule.boundaries log in
   (* Threads that never overflowed still deserve perturbation: pad the
      candidate set to the recorded thread count. *)

@@ -46,6 +46,7 @@ type report = {
 
 val explore :
   ?costs:Runtime.Cost_model.t ->
+  ?config:Runtime.Config.t ->
   ?variants:int ->
   ?seed:int ->
   Schedule.t ->
@@ -53,7 +54,10 @@ val explore :
   report
 (** Generate up to [variants] (default 12) perturbed schedules with a
     PRNG seeded by [seed] (default 7; exploration itself is
-    deterministic), replay each, and cross-check.  Raises
+    deterministic), replay each, and cross-check.  [config] overrides
+    the preset lookup on the log's runtime name — the hook the offline
+    auto-tuner ([Tune.Search]) uses to explore logs recorded under
+    non-preset configs (e.g. a ["-tuned"] controller config).  Raises
     [Invalid_argument] for a [pthreads] log — its schedule is pinned by
     the seed alone and has no boundaries to perturb. *)
 

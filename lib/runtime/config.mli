@@ -102,6 +102,16 @@ type t = {
   coarsen_max_cap : int;
   ewma_alpha : float;  (** weight of the newest sample in chunk estimates *)
   scheduling : scheduling;
+  tune : Tune_ctl.params option;
+      (** [Some p]: the self-tuning controller is on — at each
+          retired-instruction milestone ([epoch * p.period], enforced
+          exactly by clamping overflow intervals) every thread applies
+          the pure decision {!Tune_ctl.decide}, retargeting its overflow
+          policy and coarsening bounds and emitting a replay-checked
+          {!Rt_event.Tune_decision}.  Orthogonal to [scheduling]: a
+          scripted replay of a tuned run keeps the controller on, so the
+          recorded decisions are re-derived and re-checked.  [None]
+          (default): static knobs. *)
 }
 
 val dthreads : t
@@ -139,3 +149,14 @@ val with_scripted_schedule : t -> boundaries:int array array -> t
     given retired-instruction counts (see {!scheduling}). *)
 
 val scripted : t -> bool
+
+val with_adaptive_tuning : ?params:Tune_ctl.params -> t -> t
+(** Turn the self-tuning controller on (appends ["-tuned"] to the
+    name).  [params] defaults to {!Tune_ctl.default}, whose steady
+    state is the hand-tuned static configuration.
+    @raise Invalid_argument on malformed params. *)
+
+val without_adaptive_tuning : t -> t
+(** Turn the controller back off (strips a trailing ["-tuned"]). *)
+
+val tuned : t -> bool

@@ -10,17 +10,24 @@ let dthreads = Det Config.dthreads
 let dwc = Det Config.dwc
 let consequence_rr = Det Config.consequence_rr
 let consequence_ic = Det Config.consequence_ic
+let consequence_pipe = Det Config.consequence_pipe
 let domains = Domains Config.consequence_ic
 
 (* [all] deliberately excludes [Domains]: its wall_ns is real time, so
    it cannot satisfy the cross-run reproducibility the DES runtimes are
-   held to (witnesses still match — see test/runtime). *)
+   held to (witnesses still match — see test/runtime).  It also excludes
+   [consequence_pipe], which is witness-identical to [consequence_ic]
+   (only cost placement moves) and would double-count it in the
+   four-library figure sweeps. *)
 let all = [ pthreads; dthreads; dwc; consequence_rr; consequence_ic ]
 
-(* Name resolution must still cover [Domains] — schedules recorded under
-   "consequence-ic-domains" are replayed (on the DES) by looking their
-   preset up by name. *)
-let of_name n = List.find_opt (fun rt -> String.equal (name rt) n) (all @ [ domains ])
+(* Name resolution must cover everything recordable, not just [all]:
+   schedules recorded under "consequence-ic-domains" are replayed (on
+   the DES) by looking their preset up by name, and "consequence-pipe"
+   runs must resolve the same way. *)
+let resolvable = all @ [ consequence_pipe; domains ]
+let of_name n = List.find_opt (fun rt -> String.equal (name rt) n) resolvable
+let names = List.map name resolvable
 
 let deterministic = function
   | Pthreads -> false

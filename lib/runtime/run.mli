@@ -11,6 +11,13 @@ val dwc : runtime
 val consequence_rr : runtime
 val consequence_ic : runtime
 
+val consequence_pipe : runtime
+(** [Det Config.consequence_pipe]: the scaled commit path (pipelined
+    sharded commit + incremental GC).  Witness-identical to
+    {!consequence_ic}; excluded from {!all} so the four-library figure
+    sweeps are unchanged, but resolvable via {!of_name} ("consequence-
+    pipe", the CLI's [pipe]). *)
+
 val domains : runtime
 (** [Domains Config.consequence_ic]: the same Consequence-IC algorithms
     executed on real OCaml 5 domains with work-stealing
@@ -23,9 +30,13 @@ val all : runtime list
 (** pthreads + the four deterministic libraries, in Fig 10 display order. *)
 
 val of_name : string -> runtime option
-(** Resolve a preset by its {!name}.  Covers {!all} plus {!domains}
-    (which [all] excludes), so schedules recorded under the domains
-    runtime still resolve. *)
+(** Resolve a preset by its {!name}.  Covers {!all} plus
+    {!consequence_pipe} and {!domains} (which [all] excludes), so
+    schedules recorded under those runtimes still resolve. *)
+
+val names : string list
+(** Every name {!of_name} resolves, in display order — the full runtime
+    set CLI help and error messages should list. *)
 
 val deterministic : runtime -> bool
 (** Whether the runtime guarantees determinism (i.e. everything except

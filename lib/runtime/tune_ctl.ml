@@ -1,0 +1,155 @@
+(* Self-tuning controller kernel (lib/tune's online half).
+
+   The controller adapts the chunk/overflow knobs and the coarsening
+   budget mid-run.  The central constraint is determinism: every
+   runtime backend (consequence-ic, consequence-rr, consequence-pipe,
+   dthreads, real domains) must make byte-identical choices on every
+   seed, or witnesses diverge.  No run-dynamic signal satisfies that —
+   time shares, merge counts, waiting counts, even per-thread
+   instruction totals are schedule-dependent for pipeline workloads —
+   so the decision is a pure function of (params, epoch): a
+   gain-scheduled annealing from conservative warmup values to a
+   workload-specific target.  Workload adaptivity lives entirely in the
+   [params], which the offline half (Tune.Search / Tune.Controller's
+   [params_of_profile]) derives from profiler state shares or replay
+   search.  Decisions are applied at exact retired-instruction
+   milestones (epoch * period) by clamping overflow intervals, so the
+   application points are themselves deterministic. *)
+
+type params = {
+  period : int;  (** retired instructions between decision milestones *)
+  epochs : int;  (** annealing steps from warmup to target *)
+  warm_base : int;  (** epoch-0 overflow base *)
+  warm_cap : int;  (** epoch-0 overflow cap *)
+  warm_coarsen : int;  (** epoch-0 coarsening budget setpoint *)
+  target_base : int;  (** steady-state overflow base *)
+  target_cap : int;  (** steady-state overflow cap *)
+  target_coarsen : int;  (** steady-state coarsening budget setpoint *)
+  coarsen_floor : int;  (** MI/MD adaptation lower bound *)
+  coarsen_cap : int;  (** MI/MD adaptation upper bound *)
+}
+
+type decision = {
+  chunk_base : int;
+  chunk_cap : int;
+  coarsen : int;
+  coarsen_floor : int;
+  coarsen_cap : int;
+}
+
+let default =
+  {
+    period = 5_000;
+    epochs = 6;
+    warm_base = 1_000;
+    warm_cap = 8_000;
+    warm_coarsen = 50_000;
+    target_base = Detclock.Overflow_policy.default_base;
+    target_cap = Detclock.Overflow_policy.default_cap;
+    target_coarsen = 300_000;
+    coarsen_floor = 10_000;
+    coarsen_cap = 2_000_000;
+  }
+
+let validate p =
+  let pos name v = if v <= 0 then invalid_arg ("Tune_ctl: " ^ name ^ " must be > 0") in
+  pos "period" p.period;
+  if p.epochs < 0 then invalid_arg "Tune_ctl: epochs must be >= 0";
+  pos "warm_base" p.warm_base;
+  pos "warm_cap" p.warm_cap;
+  pos "warm_coarsen" p.warm_coarsen;
+  pos "target_base" p.target_base;
+  pos "target_cap" p.target_cap;
+  pos "target_coarsen" p.target_coarsen;
+  pos "coarsen_floor" p.coarsen_floor;
+  if p.warm_cap < p.warm_base then invalid_arg "Tune_ctl: warm_cap < warm_base";
+  if p.target_cap < p.target_base then invalid_arg "Tune_ctl: target_cap < target_base";
+  if p.coarsen_cap < p.coarsen_floor then invalid_arg "Tune_ctl: coarsen_cap < coarsen_floor"
+
+(* Geometric interpolation from [warm] to [target]: the knobs are
+   ratio-scaled quantities (intervals, budgets), so annealing in log
+   space halves the distance in equal multiplicative steps.  The
+   endpoints are exact by construction (f = 0 and f = 1). *)
+let anneal ~warm ~target ~num ~den =
+  if num <= 0 || warm = target then warm
+  else if num >= den then target
+  else begin
+    let f = float_of_int num /. float_of_int den in
+    let v = float_of_int warm *. ((float_of_int target /. float_of_int warm) ** f) in
+    let v = int_of_float (Float.round v) in
+    if warm <= target then max warm (min target v) else min warm (max target v)
+  end
+
+let milestone p ~epoch = epoch * p.period
+
+let decide p ~epoch =
+  let a warm target = anneal ~warm ~target ~num:epoch ~den:(max 1 p.epochs) in
+  let chunk_base = max 1 (a p.warm_base p.target_base) in
+  let chunk_cap = max chunk_base (a p.warm_cap p.target_cap) in
+  let coarsen =
+    max p.coarsen_floor (min p.coarsen_cap (a p.warm_coarsen p.target_coarsen))
+  in
+  { chunk_base; chunk_cap; coarsen; coarsen_floor = p.coarsen_floor; coarsen_cap = p.coarsen_cap }
+
+let final_epoch p = p.epochs
+
+let pp_params ppf p =
+  Format.fprintf ppf
+    "@[period=%d epochs=%d warm=(%d,%d,%d) target=(%d,%d,%d) bounds=[%d,%d]@]" p.period p.epochs
+    p.warm_base p.warm_cap p.warm_coarsen p.target_base p.target_cap p.target_coarsen
+    p.coarsen_floor p.coarsen_cap
+
+let params_to_json p : Obs.Json.t =
+  let open Obs.Json in
+  Obj
+    [
+      ("period", Int p.period);
+      ("epochs", Int p.epochs);
+      ("warm_base", Int p.warm_base);
+      ("warm_cap", Int p.warm_cap);
+      ("warm_coarsen", Int p.warm_coarsen);
+      ("target_base", Int p.target_base);
+      ("target_cap", Int p.target_cap);
+      ("target_coarsen", Int p.target_coarsen);
+      ("coarsen_floor", Int p.coarsen_floor);
+      ("coarsen_cap", Int p.coarsen_cap);
+    ]
+
+let params_of_json (j : Obs.Json.t) : (params, string) result =
+  let open Obs.Json in
+  let int name =
+    match member name j with
+    | Some v -> (
+        match to_int_opt v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "tune params: field %S has the wrong type" name))
+    | None -> Error (Printf.sprintf "tune params: missing field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* period = int "period" in
+  let* epochs = int "epochs" in
+  let* warm_base = int "warm_base" in
+  let* warm_cap = int "warm_cap" in
+  let* warm_coarsen = int "warm_coarsen" in
+  let* target_base = int "target_base" in
+  let* target_cap = int "target_cap" in
+  let* target_coarsen = int "target_coarsen" in
+  let* coarsen_floor = int "coarsen_floor" in
+  let* coarsen_cap = int "coarsen_cap" in
+  let p =
+    {
+      period;
+      epochs;
+      warm_base;
+      warm_cap;
+      warm_coarsen;
+      target_base;
+      target_cap;
+      target_coarsen;
+      coarsen_floor;
+      coarsen_cap;
+    }
+  in
+  match validate p with
+  | () -> Ok p
+  | exception Invalid_argument msg -> Error msg

@@ -1,0 +1,67 @@
+(** Self-tuning controller kernel: deterministic gain-scheduled
+    annealing of the chunk/overflow knobs and the coarsening budget.
+
+    The decision at each milestone is a {b pure function of (params,
+    epoch)} — it reads no run-dynamic state.  That is what makes the
+    controller safe: every backend (DES or real domains, instruction-
+    count or round-robin ordering, pipelined or serial commit) computes
+    the same decision values on every seed, so witnesses stay
+    value-deterministic.  Workload adaptivity lives in the [params],
+    derived offline by [Tune.Search] or from a profiler state-share
+    summary; the online half merely schedules when each annealing step
+    applies (at retired-instruction milestone [epoch * period],
+    enforced exactly by clamping overflow intervals in [Det_rt]).
+
+    Chunk knobs (overflow base/cap) affect real time only; the
+    coarsening knobs affect the witness, which is why decisions are
+    recorded as {!Rt_event.Tune_decision} events and replay-checked. *)
+
+type params = {
+  period : int;  (** retired instructions between decision milestones *)
+  epochs : int;  (** annealing steps from warmup to target *)
+  warm_base : int;  (** epoch-0 overflow base *)
+  warm_cap : int;  (** epoch-0 overflow cap *)
+  warm_coarsen : int;  (** epoch-0 coarsening budget setpoint *)
+  target_base : int;  (** steady-state overflow base *)
+  target_cap : int;  (** steady-state overflow cap *)
+  target_coarsen : int;  (** steady-state coarsening budget setpoint *)
+  coarsen_floor : int;  (** MI/MD adaptation lower bound *)
+  coarsen_cap : int;  (** MI/MD adaptation upper bound *)
+}
+
+type decision = {
+  chunk_base : int;  (** overflow-policy base after this milestone *)
+  chunk_cap : int;  (** overflow-policy backoff cap *)
+  coarsen : int;  (** coarsening budget setpoint (clamped per-thread) *)
+  coarsen_floor : int;  (** lower bound handed to MI/MD adaptation *)
+  coarsen_cap : int;  (** upper bound handed to MI/MD adaptation *)
+}
+
+val default : params
+(** Conservative warmup annealing to the static defaults of
+    {!Config.base}: with no profile or search the controller converges
+    to exactly the hand-tuned steady state. *)
+
+val validate : params -> unit
+(** @raise Invalid_argument when a field is non-positive or a cap is
+    below its base/floor. *)
+
+val milestone : params -> epoch:int -> int
+(** Retired-instruction count at which [epoch]'s decision applies
+    ([epoch * period]; epoch 0 applies at thread start). *)
+
+val final_epoch : params -> int
+(** Last epoch that changes anything: [decide ~epoch:e] is constant for
+    [e >= final_epoch]. *)
+
+val decide : params -> epoch:int -> decision
+(** The pure decision function.  Knob values interpolate geometrically
+    from the warmup values (epoch 0) to the targets (epoch >=
+    [epochs]); endpoints are exact. *)
+
+val pp_params : Format.formatter -> params -> unit
+
+val params_to_json : params -> Obs.Json.t
+val params_of_json : Obs.Json.t -> (params, string) result
+(** Round-trip serialization used by tuned profiles
+    ([tune/profiles/*.json]); [of_json] validates. *)

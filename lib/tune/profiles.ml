@@ -1,0 +1,74 @@
+module Ctl = Runtime.Tune_ctl
+module J = Obs.Json
+
+type t = {
+  workload : string;
+  runtime : string;
+  nthreads : int;
+  seed : int;
+  source : string;
+  params : Ctl.params;
+  wall_default_ns : int;
+  wall_tuned_ns : int;
+}
+
+let apply t cfg = Runtime.Config.with_adaptive_tuning ~params:t.params cfg
+
+let filename t = t.workload ^ ".tune.json"
+
+let to_json t =
+  J.Obj
+    [
+      ("workload", J.String t.workload);
+      ("runtime", J.String t.runtime);
+      ("nthreads", J.Int t.nthreads);
+      ("seed", J.Int t.seed);
+      ("source", J.String t.source);
+      ("params", Ctl.params_to_json t.params);
+      ("wall_default_ns", J.Int t.wall_default_ns);
+      ("wall_tuned_ns", J.Int t.wall_tuned_ns);
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let str k =
+    match Option.bind (J.member k j) J.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "tune profile: missing string field %S" k)
+  in
+  let int k =
+    match Option.bind (J.member k j) J.to_int_opt with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "tune profile: missing int field %S" k)
+  in
+  let* workload = str "workload" in
+  let* runtime = str "runtime" in
+  let* nthreads = int "nthreads" in
+  let* seed = int "seed" in
+  let* source = str "source" in
+  let* params =
+    match J.member "params" j with
+    | Some pj -> Ctl.params_of_json pj
+    | None -> Error "tune profile: missing field \"params\""
+  in
+  let* wall_default_ns = int "wall_default_ns" in
+  let* wall_tuned_ns = int "wall_tuned_ns" in
+  Ok { workload; runtime; nthreads; seed; source; params; wall_default_ns; wall_tuned_ns }
+
+let save t path = J.to_file path (to_json t)
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | raw -> Result.bind (J.parse raw) of_json
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>tuned profile for %s (%s, %d threads, seed %d; source %s)@,%a@,wall: default %d ns -> tuned %d ns@]"
+    t.workload t.runtime t.nthreads t.seed t.source Ctl.pp_params t.params t.wall_default_ns
+    t.wall_tuned_ns

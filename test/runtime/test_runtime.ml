@@ -880,6 +880,124 @@ let test_domains_pipe_witness_identity () =
         (domains_witness ~cfg:pipe ~domains:2 ~seed:1 program))
     [ "histogram"; "word_count"; "dedup"; "barnes" ]
 
+(* --- Self-tuning controller (lib/tune) --------------------------------- *)
+
+let test_run_names_cover_presets () =
+  (* The full resolvable runtime set must round-trip name <-> preset and
+     include the two presets `all` excludes (pipe, domains). *)
+  List.iter
+    (fun n ->
+      match R.of_name n with
+      | Some rt -> check_string (n ^ " round-trips") n (R.name rt)
+      | None -> Alcotest.failf "Run.names lists %S but of_name rejects it" n)
+    R.names;
+  check_bool "all presets listed" true
+    (List.for_all (fun rt -> List.mem (R.name rt) R.names) R.all);
+  check_bool "pipe listed" true (List.mem (R.name R.consequence_pipe) R.names);
+  check_bool "domains listed" true (List.mem (R.name R.domains) R.names);
+  check_bool "unknown name rejected" true (R.of_name "no-such-runtime" = None);
+  Alcotest.(check int) "seven resolvable runtimes" 7 (List.length R.names)
+
+(* The five runtimes of the controller's cross-runtime identity claim. *)
+let tuned_runtimes params =
+  let tuned cfg = Runtime.Config.with_adaptive_tuning ~params cfg in
+  [
+    ("ic", R.Det (tuned Runtime.Config.consequence_ic));
+    ("rr", R.Det (tuned Runtime.Config.consequence_rr));
+    ("pipe", R.Det (tuned Runtime.Config.consequence_pipe));
+    ("dthreads", R.Det (tuned Runtime.Config.dthreads));
+    ("domains", R.Domains (tuned Runtime.Config.consequence_ic));
+  ]
+
+let decision_streams rt ~seed program =
+  let evs = ref [] in
+  let observer ev =
+    match ev with Runtime.Rt_event.Tune_decision _ -> evs := ev :: !evs | _ -> ()
+  in
+  ignore (R.run rt ~seed ~nthreads:8 ~observer program);
+  Tune.Controller.of_events (List.rev !evs)
+
+(* The acceptance property of the online controller: because decisions
+   are a pure function of (params, epoch), every runtime backend — DES
+   instruction-count, round-robin, pipelined commit, DThreads fences,
+   real OCaml 5 domains — produces byte-identical per-thread decision
+   streams on every seed, each a prefix of the pure prediction. *)
+let check_controller_decisions_identical params bench =
+  let program = (Workload.Registry.find bench).Workload.Registry.program in
+  List.iter
+    (fun seed ->
+      let streams =
+        List.map
+          (fun (label, rt) -> (label, decision_streams rt ~seed program))
+          (tuned_runtimes params)
+      in
+      let _, reference = List.hd streams in
+      check_bool (Printf.sprintf "%s seed=%d decisions recorded" bench seed) true
+        (reference <> []);
+      List.iter
+        (fun (label, s) ->
+          check_bool
+            (Printf.sprintf "%s seed=%d %s decisions identical to ic" bench seed label)
+            true (s = reference))
+        (List.tl streams))
+    [ 1; 7 ]
+
+let test_controller_decisions_identical_across_runtimes () =
+  List.iter
+    (check_controller_decisions_identical Runtime.Tune_ctl.default)
+    [ "kmeans"; "histogram" ]
+
+let prop_controller_decisions_identical =
+  (* satellite: random registry workloads, both seeds, all five runtimes. *)
+  QCheck.Test.make ~name:"controller decisions identical across runtimes" ~count:4
+    (QCheck.make (QCheck.Gen.oneofl Workload.Registry.names))
+    (fun bench ->
+      check_controller_decisions_identical Runtime.Tune_ctl.default bench;
+      true)
+
+(* Value-determinism with the controller enabled, mirroring the
+   pipelined-commit on/off matrix: per-runtime witnesses are seed-stable,
+   memory and output hashes agree across all five runtimes, and the full
+   witness (including the sync-order hash, which legitimately differs
+   between token-ordering disciplines) is identical within the
+   consequence-ic family {ic, pipe, domains}. *)
+let test_tuned_witness_matrix () =
+  let params = Runtime.Tune_ctl.default in
+  List.iter
+    (fun bench ->
+      let program = (Workload.Registry.find bench).Workload.Registry.program in
+      let results =
+        List.map
+          (fun (label, rt) ->
+            let r1 = R.run rt ~seed:1 ~nthreads:8 program in
+            let r7 = R.run rt ~seed:7 ~nthreads:8 program in
+            check_string
+              (Printf.sprintf "%s/%s seed-stable" bench label)
+              (Res.deterministic_witness r1)
+              (Res.deterministic_witness r7);
+            (label, r1))
+          (tuned_runtimes params)
+      in
+      let _, ic = List.hd results in
+      List.iter
+        (fun (label, r) ->
+          check_string
+            (Printf.sprintf "%s/%s mem hash" bench label)
+            ic.Res.mem_hash r.Res.mem_hash;
+          check_string
+            (Printf.sprintf "%s/%s output hash" bench label)
+            ic.Res.output_hash r.Res.output_hash)
+        (List.tl results);
+      List.iter
+        (fun (label, r) ->
+          if label = "pipe" || label = "domains" then
+            check_string
+              (Printf.sprintf "%s/%s full witness = ic" bench label)
+              (Res.deterministic_witness ic)
+              (Res.deterministic_witness r))
+        (List.tl results))
+    [ "kmeans"; "histogram"; "matrix_multiply" ]
+
 (* Cheap always-on cross-check so plain `dune runtest` exercises the
    real-parallel path (the full sweep above is `Slow). *)
 let test_domains_witness_identity_quick () =
@@ -963,6 +1081,15 @@ let () =
           Alcotest.test_case "witnesses match pre-rewrite baseline" `Slow test_golden_witnesses;
           Alcotest.test_case "pipelined sharded commit witness-identical" `Slow
             test_parallel_commit_witness_identity;
+        ] );
+      ( "tune",
+        [
+          Alcotest.test_case "Run.names covers every preset" `Quick
+            test_run_names_cover_presets;
+          Alcotest.test_case "decisions identical across five runtimes" `Quick
+            test_controller_decisions_identical_across_runtimes;
+          QCheck_alcotest.to_alcotest prop_controller_decisions_identical;
+          Alcotest.test_case "tuned witness matrix" `Quick test_tuned_witness_matrix;
         ] );
       ( "domains",
         [

@@ -1,0 +1,301 @@
+(* Tests for lib/tune: the controller kernel's pure decision function
+   (endpoint exactness, annealing monotonicity, validation), the
+   prediction/extraction helpers, params and profile JSON round-trips,
+   the profile-to-params mapping, and an end-to-end quick search with
+   its ordering guarantees and winner cross-checks. *)
+
+module Ctl = Runtime.Tune_ctl
+module Cfg = Runtime.Config
+module R = Runtime.Run
+module Res = Stats.Run_result
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let program_of name = (Workload.Registry.find name).Workload.Registry.program
+
+(* --- kernel ----------------------------------------------------------- *)
+
+let test_decide_endpoints_exact () =
+  let p = Ctl.default in
+  let d0 = Ctl.decide p ~epoch:0 in
+  check_int "epoch 0 base is warm_base" p.Ctl.warm_base d0.Ctl.chunk_base;
+  check_int "epoch 0 cap is warm_cap" p.Ctl.warm_cap d0.Ctl.chunk_cap;
+  check_int "epoch 0 coarsen is warm_coarsen" p.Ctl.warm_coarsen d0.Ctl.coarsen;
+  let dn = Ctl.decide p ~epoch:p.Ctl.epochs in
+  check_int "final base is target_base" p.Ctl.target_base dn.Ctl.chunk_base;
+  check_int "final cap is target_cap" p.Ctl.target_cap dn.Ctl.chunk_cap;
+  check_int "final coarsen is target_coarsen" p.Ctl.target_coarsen dn.Ctl.coarsen;
+  (* Decisions are constant past the final epoch. *)
+  check_bool "constant after final epoch" true
+    (Ctl.decide p ~epoch:(p.Ctl.epochs + 5) = dn)
+
+let test_decide_monotone_and_bounded () =
+  let p = Ctl.default in
+  let ds = List.init (p.Ctl.epochs + 1) (fun e -> Ctl.decide p ~epoch:e) in
+  List.iteri
+    (fun i (d : Ctl.decision) ->
+      check_bool "cap >= base" true (d.Ctl.chunk_cap >= d.Ctl.chunk_base);
+      check_bool "coarsen within bounds" true
+        (d.Ctl.coarsen >= p.Ctl.coarsen_floor && d.Ctl.coarsen <= p.Ctl.coarsen_cap);
+      if i > 0 then begin
+        let prev = List.nth ds (i - 1) in
+        (* default anneals upward: warm < target on every knob *)
+        check_bool "base non-decreasing" true (d.Ctl.chunk_base >= prev.Ctl.chunk_base);
+        check_bool "coarsen non-decreasing" true (d.Ctl.coarsen >= prev.Ctl.coarsen)
+      end)
+    ds
+
+let test_validate_rejects_bad_params () =
+  let reject p =
+    match Ctl.validate p with
+    | () -> Alcotest.fail "invalid params accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  reject { Ctl.default with Ctl.period = 0 };
+  reject { Ctl.default with Ctl.epochs = -1 };
+  reject { Ctl.default with Ctl.warm_cap = Ctl.default.Ctl.warm_base - 1 };
+  reject { Ctl.default with Ctl.target_base = 0 };
+  reject { Ctl.default with Ctl.coarsen_cap = Ctl.default.Ctl.coarsen_floor - 1 }
+
+let gen_params =
+  (* Valid by construction: caps forced above bases. *)
+  let open QCheck.Gen in
+  let pos hi = int_range 1 hi in
+  pos 50_000 >>= fun period ->
+  int_range 0 10 >>= fun epochs ->
+  pos 100_000 >>= fun warm_base ->
+  pos 200_000 >>= fun wc ->
+  pos 1_000_000 >>= fun warm_coarsen ->
+  pos 100_000 >>= fun target_base ->
+  pos 500_000 >>= fun tc ->
+  pos 2_000_000 >>= fun target_coarsen ->
+  pos 100_000 >>= fun cf ->
+  pos 4_000_000 >>= fun cc ->
+  let coarsen_floor = min cf cc in
+  return
+    {
+      Ctl.period;
+      epochs;
+      warm_base;
+      warm_cap = max warm_base wc;
+      warm_coarsen;
+      target_base;
+      target_cap = max target_base tc;
+      target_coarsen;
+      coarsen_floor;
+      coarsen_cap = max coarsen_floor cc;
+    }
+
+let arb_params = QCheck.make ~print:(Format.asprintf "%a" Ctl.pp_params) gen_params
+
+let prop_params_json_roundtrip =
+  QCheck.Test.make ~name:"Tune_ctl params JSON round-trip" ~count:300 arb_params (fun p ->
+      match Ctl.params_of_json (Ctl.params_to_json p) with
+      | Ok p' -> p = p'
+      | Error _ -> false)
+
+let prop_decide_endpoints_any_params =
+  (* Endpoints exact, modulo the floor/cap clamps decide applies.  With
+     epochs = 0 the controller is degenerate: it stays at the warm values
+     forever (the static-grid encoding the search relies on). *)
+  QCheck.Test.make ~name:"decide endpoints exact for any valid params" ~count:300 arb_params
+    (fun p ->
+      let clamp v = max p.Ctl.coarsen_floor (min p.Ctl.coarsen_cap v) in
+      let d0 = Ctl.decide p ~epoch:0 in
+      let warm_ok =
+        d0.Ctl.chunk_base = p.Ctl.warm_base
+        && d0.Ctl.chunk_cap = max p.Ctl.warm_base p.Ctl.warm_cap
+        && d0.Ctl.coarsen = clamp p.Ctl.warm_coarsen
+      in
+      let dn = Ctl.decide p ~epoch:p.Ctl.epochs in
+      let final_ok =
+        if p.Ctl.epochs = 0 then dn = d0
+        else
+          dn.Ctl.chunk_base = p.Ctl.target_base
+          && dn.Ctl.chunk_cap = max p.Ctl.target_base p.Ctl.target_cap
+          && dn.Ctl.coarsen = clamp p.Ctl.target_coarsen
+      in
+      warm_ok && final_ok)
+
+(* --- prediction vs recorded events ------------------------------------ *)
+
+let test_prediction_matches_recording () =
+  let params = Ctl.default in
+  let tuned = Cfg.with_adaptive_tuning ~params Cfg.consequence_ic in
+  let log, _ = Replay.Schedule.record (R.Det tuned) ~seed:1 ~nthreads:4 (program_of "kmeans") in
+  let events = Array.to_list log.Replay.Schedule.events in
+  let streams = Tune.Controller.of_events events in
+  check_bool "some decisions recorded" true (streams <> []);
+  check_bool "every stream is a prefix of the prediction" true
+    (Tune.Controller.matches_prediction params events);
+  (* Each stream's milestones are exact. *)
+  List.iter
+    (fun (_tid, applied) ->
+      List.iteri
+        (fun i (a : Tune.Controller.applied) ->
+          check_int "epochs in order" i a.Tune.Controller.epoch;
+          check_int "exact milestone" (Ctl.milestone params ~epoch:i) a.Tune.Controller.ic)
+        applied)
+    streams
+
+let test_prediction_catches_corruption () =
+  let params = Ctl.default in
+  let wrong =
+    Runtime.Rt_event.Tune_decision
+      {
+        tid = 0;
+        epoch = 0;
+        ic = 0;
+        chunk_base = 123;
+        chunk_cap = 456;
+        coarsen = 789;
+        coarsen_floor = 1;
+        coarsen_cap = 1_000_000;
+      }
+  in
+  check_bool "corrupted decision rejected" false
+    (Tune.Controller.matches_prediction params [ wrong ])
+
+(* --- profile-to-params ------------------------------------------------ *)
+
+let test_params_of_profile_valid () =
+  List.iter
+    (fun name ->
+      let c = Prof.Profile.create () in
+      let res =
+        R.run R.consequence_ic ~seed:1 ~nthreads:4 ~obs:(Prof.Profile.sink c)
+          (program_of name)
+      in
+      let prof = Prof.Profile.finish c ~wall_ns:res.Res.wall_ns in
+      let p = Tune.Controller.params_of_profile prof in
+      (* must validate, and warmup must start at or below the target *)
+      Ctl.validate p;
+      check_bool "warm_base <= target_base" true (p.Ctl.warm_base <= p.Ctl.target_base))
+    [ "kmeans"; "histogram"; "ferret" ]
+
+(* --- tuned profiles --------------------------------------------------- *)
+
+let test_profile_file_roundtrip () =
+  let t =
+    {
+      Tune.Profiles.workload = "kmeans";
+      runtime = "consequence-ic";
+      nthreads = 8;
+      seed = 1;
+      source = "hill-climb";
+      params = Ctl.default;
+      wall_default_ns = 1_000_000;
+      wall_tuned_ns = 900_000;
+    }
+  in
+  let path = Filename.temp_file "consequence" ".tune.json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Tune.Profiles.save t path;
+      match Tune.Profiles.load path with
+      | Ok t' -> check_bool "round-trips" true (t = t')
+      | Error e -> Alcotest.failf "load failed: %s" e);
+  check_bool "missing file is an Error" true
+    (match Tune.Profiles.load "/nonexistent/x.tune.json" with Error _ -> true | Ok _ -> false)
+
+let test_profile_apply () =
+  let t =
+    {
+      Tune.Profiles.workload = "kmeans";
+      runtime = "consequence-ic";
+      nthreads = 8;
+      seed = 1;
+      source = "grid";
+      params = Ctl.default;
+      wall_default_ns = 1;
+      wall_tuned_ns = 1;
+    }
+  in
+  let cfg = Tune.Profiles.apply t Cfg.consequence_ic in
+  check_bool "controller on" true (Cfg.tuned cfg);
+  Alcotest.(check string) "name tagged" "consequence-ic-tuned" cfg.Cfg.name
+
+(* --- end-to-end search ------------------------------------------------ *)
+
+let test_quick_search_orderings_and_checks () =
+  let r = Tune.Search.search ~nthreads:4 ~quick:true "histogram" in
+  (* The hand grid is inside the search space, and its default point
+     ties the untuned config exactly: both orderings are structural. *)
+  check_bool "searched <= hand best" true
+    (r.Tune.Search.wall_searched_ns <= r.Tune.Search.wall_hand_best_ns);
+  check_bool "hand best <= default" true
+    (r.Tune.Search.wall_hand_best_ns <= r.Tune.Search.wall_default_ns);
+  check_bool "winner seed-stable" true r.Tune.Search.seed_stable;
+  check_bool "winner replay-checked" true r.Tune.Search.replay_checked;
+  check_bool "winner replay ok" true r.Tune.Search.replay_ok;
+  check_bool "evaluations counted" true (r.Tune.Search.evaluations > 5);
+  (* The saved profile reproduces the searched wall time when re-run. *)
+  let tuned = Tune.Profiles.apply (Tune.Search.to_profile r) Cfg.consequence_ic in
+  let res = R.run (R.Det tuned) ~seed:1 ~nthreads:4 (program_of "histogram") in
+  check_int "profile reproduces searched wall" r.Tune.Search.wall_searched_ns
+    res.Res.wall_ns
+
+let test_hand_default_grid_point_ties_untuned () =
+  (* The keystone of the searched <= default guarantee, checked directly:
+     the epochs=0 grid point with the shipped knob values is bit-identical
+     to the untuned config — same witness, same simulated wall time. *)
+  let _, params = List.hd Tune.Search.hand_grid in
+  check_int "grid point is degenerate" 0 params.Ctl.epochs;
+  List.iter
+    (fun name ->
+      let prog = program_of name in
+      List.iter
+        (fun (rt, cfg) ->
+          let base = R.run rt ~seed:1 ~nthreads:8 prog in
+          let tuned =
+            R.run (R.Det (Cfg.with_adaptive_tuning ~params cfg)) ~seed:1 ~nthreads:8 prog
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s/%s witness" name cfg.Cfg.name)
+            (Res.deterministic_witness base)
+            (Res.deterministic_witness tuned);
+          check_int
+            (Printf.sprintf "%s/%s wall" name cfg.Cfg.name)
+            base.Res.wall_ns tuned.Res.wall_ns)
+        [
+          (R.consequence_ic, Cfg.consequence_ic);
+          (R.consequence_rr, Cfg.consequence_rr);
+          (R.dthreads, Cfg.dthreads);
+        ])
+    [ "kmeans"; "histogram" ]
+
+let () =
+  Alcotest.run "tune"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "decide endpoints exact" `Quick test_decide_endpoints_exact;
+          Alcotest.test_case "decide monotone and bounded" `Quick
+            test_decide_monotone_and_bounded;
+          Alcotest.test_case "validate rejects bad params" `Quick
+            test_validate_rejects_bad_params;
+          QCheck_alcotest.to_alcotest prop_params_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_decide_endpoints_any_params;
+        ] );
+      ( "prediction",
+        [
+          Alcotest.test_case "recording matches prediction" `Quick
+            test_prediction_matches_recording;
+          Alcotest.test_case "corruption caught" `Quick test_prediction_catches_corruption;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "params from profiler shares" `Quick test_params_of_profile_valid;
+          Alcotest.test_case "profile file round-trip" `Quick test_profile_file_roundtrip;
+          Alcotest.test_case "profile apply" `Quick test_profile_apply;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "quick search orderings + checks" `Quick
+            test_quick_search_orderings_and_checks;
+          Alcotest.test_case "hand-default ties untuned exactly" `Quick
+            test_hand_default_grid_point_ties_untuned;
+        ] );
+    ]
